@@ -1,0 +1,42 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-race cover bench examples experiments fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+examples:
+	$(GO) run ./examples/quickstart/
+	$(GO) run ./examples/homology/
+	$(GO) run ./examples/compression/
+	$(GO) run ./examples/metagenome/
+	$(GO) run ./examples/domains/
+
+# Regenerate every table/figure of the paper's evaluation (E1–E12).
+experiments:
+	$(GO) run ./cmd/cafe-bench
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

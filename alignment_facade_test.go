@@ -1,0 +1,47 @@
+package nucleodb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAlignmentRendering(t *testing.T) {
+	recs, query, _ := testRecords(79)
+	db, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := db.Search(query, DefaultSearchOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no results")
+	}
+	text, err := db.Alignment(query, rs[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"score ", "identity", "Query", "Sbjct", "|"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("alignment missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestAlignmentErrors(t *testing.T) {
+	recs, query, _ := testRecords(80)
+	db, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Alignment("AC!GT", 0); err == nil {
+		t.Error("invalid query accepted")
+	}
+	if _, err := db.Alignment(query, -1); err == nil {
+		t.Error("negative id accepted")
+	}
+	if _, err := db.Alignment(query, db.NumSequences()); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package nucleodb
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAppendMatchesFullBuild(t *testing.T) {
+	recs, query, _ := testRecords(87)
+	split := len(recs) / 2
+
+	incremental, err := Build(recs[:split], DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := incremental.Append(recs[split:]); err != nil {
+		t.Fatal(err)
+	}
+	full, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if incremental.NumSequences() != full.NumSequences() ||
+		incremental.TotalBases() != full.TotalBases() {
+		t.Fatalf("incremental shape %d/%d, full %d/%d",
+			incremental.NumSequences(), incremental.TotalBases(),
+			full.NumSequences(), full.TotalBases())
+	}
+	a, err := incremental.Search(query, DefaultSearchOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := full.Search(query, DefaultSearchOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("incremental and full-build searches differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestAppendFindsNewRecords(t *testing.T) {
+	recs, query, _ := testRecords(88)
+	// Start with only the noise records; the family arrives by Append.
+	var noise, family []Record
+	for _, r := range recs {
+		if r.Desc == "fam" {
+			family = append(family, r)
+		} else {
+			noise = append(noise, r)
+		}
+	}
+	db, err := Build(noise, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := db.Search(query, DefaultSearchOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(family); err != nil {
+		t.Fatal(err)
+	}
+	after, err := db.Search(query, DefaultSearchOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) == 0 {
+		t.Fatal("no results after append")
+	}
+	if len(before) > 0 && after[0].Score <= before[0].Score {
+		t.Errorf("appended homologs did not improve the top score: %d vs %d",
+			after[0].Score, before[0].Score)
+	}
+	if after[0].Desc != "fam" {
+		t.Errorf("top hit after append is %q, want a family member", after[0].Desc)
+	}
+}
+
+func TestAppendRejectsBadRecords(t *testing.T) {
+	recs, _, _ := testRecords(89)
+	db, err := Build(recs[:5], DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append([]Record{{Desc: "bad", Sequence: "AC-GT"}}); err == nil {
+		t.Error("invalid appended record accepted")
+	}
+	// Failed append must leave the database usable.
+	if db.NumSequences() != 5 {
+		t.Errorf("failed append changed record count to %d", db.NumSequences())
+	}
+}

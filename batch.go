@@ -1,0 +1,105 @@
+package nucleodb
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"nucleodb/internal/core"
+	"nucleodb/internal/dna"
+)
+
+// SearchBatch evaluates many queries concurrently and returns the
+// per-query result lists in input order. Each worker owns its own
+// searcher state, so throughput scales with cores instead of
+// serialising on the Database's internal lock the way concurrent
+// Search calls do. workers ≤ 0 uses all CPUs. The first error aborts
+// the batch.
+func (d *Database) SearchBatch(queries []string, opts SearchOptions, workers int) ([][]Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	out := make([][]Result, len(queries))
+	if len(queries) == 0 {
+		return out, nil
+	}
+
+	// Encode everything up front so input errors name the query and
+	// arrive before any work runs.
+	encoded := make([][]byte, len(queries))
+	for i, q := range queries {
+		codes, err := dna.Encode([]byte(q))
+		if err != nil {
+			return nil, fmt.Errorf("nucleodb: query %d: %w", i, err)
+		}
+		encoded[i] = codes
+	}
+	params, statsErr := d.Statistics()
+
+	type result struct {
+		i   int
+		rs  []core.Result
+		err error
+	}
+	work := make(chan int)
+	results := make(chan result)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		searcher, err := core.NewSearcher(d.idx, d.store, d.scoring)
+		if err != nil {
+			return nil, fmt.Errorf("nucleodb: %w", err)
+		}
+		wg.Add(1)
+		go func(s *core.Searcher) {
+			defer wg.Done()
+			for i := range work {
+				rs, err := s.Search(encoded[i], opts.internal())
+				results <- result{i, rs, err}
+			}
+		}(searcher)
+	}
+	go func() {
+		for i := range queries {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		close(results)
+	}()
+
+	var firstErr error
+	for r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("nucleodb: query %d: %w", r.i, r.err)
+			}
+			continue
+		}
+		rs := make([]Result, len(r.rs))
+		for k, cr := range r.rs {
+			rs[k] = Result{
+				ID:           cr.ID,
+				Desc:         d.store.Desc(cr.ID),
+				Score:        cr.Score,
+				Identity:     cr.Alignment.Identity(),
+				QueryStart:   cr.Alignment.AStart,
+				QueryEnd:     cr.Alignment.AEnd,
+				SubjectStart: cr.Alignment.BStart,
+				SubjectEnd:   cr.Alignment.BEnd,
+				Reverse:      cr.Reverse,
+			}
+			if statsErr == nil {
+				rs[k].Bits = params.BitScore(cr.Score)
+				rs[k].EValue = params.EValue(cr.Score, len(encoded[r.i]), d.store.TotalBases())
+			}
+		}
+		out[r.i] = rs
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package nucleodb
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSearchBatchMatchesSequential(t *testing.T) {
+	recs, query, _ := testRecords(75)
+	db, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		query,
+		query[:150],
+		query[50:],
+	}
+	opts := DefaultSearchOptions()
+
+	batch, err := db.SearchBatch(queries, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(queries) {
+		t.Fatalf("got %d result lists", len(batch))
+	}
+	for i, q := range queries {
+		seq, err := db.Search(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch[i], seq) {
+			t.Errorf("query %d: batch and sequential results differ\nbatch: %+v\nseq:   %+v",
+				i, batch[i], seq)
+		}
+	}
+}
+
+func TestSearchBatchEmpty(t *testing.T) {
+	recs, _, _ := testRecords(76)
+	db, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := db.SearchBatch(nil, DefaultSearchOptions(), 0)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch = %v, %v", out, err)
+	}
+}
+
+func TestSearchBatchBadQuery(t *testing.T) {
+	recs, query, _ := testRecords(77)
+	db, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SearchBatch([]string{query, "ACG!T"}, DefaultSearchOptions(), 2); err == nil {
+		t.Error("invalid query accepted")
+	}
+	// Query shorter than the interval length fails inside the worker.
+	if _, err := db.SearchBatch([]string{query, "ACG"}, DefaultSearchOptions(), 2); err == nil {
+		t.Error("too-short query accepted")
+	}
+}
+
+func TestSearchBatchManyWorkers(t *testing.T) {
+	recs, query, _ := testRecords(78)
+	db, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More workers than queries must not deadlock or drop results.
+	out, err := db.SearchBatch([]string{query}, DefaultSearchOptions(), 64)
+	if err != nil || len(out) != 1 || len(out[0]) == 0 {
+		t.Fatalf("batch = %d lists, err %v", len(out), err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package clitest builds the command-line tools and exercises the full
+// pipeline end to end: generate a collection, build a database, search
+// it, and inspect it — the workflow a user of the released system runs.
+package clitest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles every cmd/ binary into a temp dir once per test
+// run and returns their paths.
+func buildTools(t *testing.T) map[string]string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	bin := t.TempDir()
+	tools := map[string]string{}
+	for _, name := range []string{"cafe-gen", "cafe-build", "cafe-search", "cafe-inspect", "cafe-bench", "cafe-merge"} {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "nucleodb/cmd/"+name)
+		cmd.Dir = ".."
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, msg)
+		}
+		tools[name] = out
+	}
+	return tools
+}
+
+func run(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(tool, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", filepath.Base(tool), strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestPipeline(t *testing.T) {
+	tools := buildTools(t)
+	work := t.TempDir()
+	fasta := filepath.Join(work, "collection.fasta")
+	queries := filepath.Join(work, "queries.fasta")
+	dbDir := filepath.Join(work, "db")
+
+	// Generate a small collection plus homologous queries.
+	out := run(t, tools["cafe-gen"],
+		"-seqs", "300", "-seed", "5", "-out", fasta,
+		"-queries", "3", "-qout", queries, "-querylen", "300")
+	if !strings.Contains(out, "wrote 300 sequences") {
+		t.Fatalf("cafe-gen output: %s", out)
+	}
+	if _, err := os.Stat(queries); err != nil {
+		t.Fatal(err)
+	}
+
+	// Build the database.
+	out = run(t, tools["cafe-build"], "-in", fasta, "-db", dbDir, "-k", "9")
+	for _, want := range []string{"built", "sequences:", "store:", "index:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cafe-build output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Search with the generated query file.
+	out = run(t, tools["cafe-search"], "-db", dbDir, "-queries", queries, "-limit", "5", "-show", "1")
+	if !strings.Contains(out, "answers in") {
+		t.Fatalf("cafe-search output:\n%s", out)
+	}
+	// Homologous queries must find their family: score lines with hits.
+	if !strings.Contains(out, "score") || !strings.Contains(out, "family=") {
+		t.Fatalf("cafe-search found no family hits:\n%s", out)
+	}
+	// -show rendered an alignment block.
+	if !strings.Contains(out, "Query") || !strings.Contains(out, "Sbjct") {
+		t.Fatalf("cafe-search -show printed no alignment:\n%s", out)
+	}
+
+	// Literal query, both strands, exact.
+	lit := run(t, tools["cafe-search"], "-db", dbDir,
+		"-q", strings.Repeat("ACGT", 10), "-strands", "-exact", "-minscore", "1")
+	if !strings.Contains(lit, "query query") {
+		t.Fatalf("literal query output:\n%s", lit)
+	}
+
+	// TSV output for scripting: tab-separated rows, no prose.
+	tsvOut := run(t, tools["cafe-search"], "-db", dbDir, "-queries", queries, "-limit", "2", "-tsv")
+	for _, line := range strings.Split(strings.TrimSpace(tsvOut), "\n") {
+		if fields := strings.Split(line, "\t"); len(fields) != 12 {
+			t.Fatalf("tsv line has %d fields: %q", len(fields), line)
+		}
+	}
+
+	// Inspect.
+	out = run(t, tools["cafe-inspect"], "-db", dbDir, "-top", "3")
+	for _, want := range []string{"store:", "index:", "posting-list lengths", "most frequent intervals"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cafe-inspect output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Merge the database with a second segment and re-search: the
+	// combined database must still answer.
+	fasta2 := filepath.Join(work, "more.fasta")
+	db2 := filepath.Join(work, "db2")
+	merged := filepath.Join(work, "merged")
+	run(t, tools["cafe-gen"], "-seqs", "50", "-seed", "9", "-out", fasta2)
+	run(t, tools["cafe-build"], "-in", fasta2, "-db", db2, "-k", "9")
+	out = run(t, tools["cafe-merge"], "-a", dbDir, "-b", db2, "-out", merged)
+	if !strings.Contains(out, "merged 300 + 50 sequences") {
+		t.Fatalf("cafe-merge output:\n%s", out)
+	}
+	out = run(t, tools["cafe-search"], "-db", merged, "-queries", queries, "-limit", "3")
+	if !strings.Contains(out, "answers in") {
+		t.Fatalf("search on merged db:\n%s", out)
+	}
+
+	// A spaced-seed, skip-enabled database builds and searches too.
+	dbSpaced := filepath.Join(work, "db-spaced")
+	out = run(t, tools["cafe-build"], "-in", fasta, "-db", dbSpaced,
+		"-mask", "1110100101", "-skip", "1", "-stop", "0.01")
+	if !strings.Contains(out, "built") {
+		t.Fatalf("spaced build output:\n%s", out)
+	}
+	out = run(t, tools["cafe-search"], "-db", dbSpaced, "-queries", queries, "-limit", "3")
+	if !strings.Contains(out, "answers in") {
+		t.Fatalf("spaced search output:\n%s", out)
+	}
+	out = run(t, tools["cafe-inspect"], "-db", dbSpaced)
+	if !strings.Contains(out, "skip interval:    1") {
+		t.Fatalf("inspect on spaced db:\n%s", out)
+	}
+
+	// A focused bench experiment (the fastest one) exercises the
+	// experiment runner end to end.
+	out = run(t, tools["cafe-bench"], "-run", "E9", "-bases", "100000", "-queries", "4")
+	if !strings.Contains(out, "E9") || !strings.Contains(out, "skip interval") {
+		t.Fatalf("cafe-bench output:\n%s", out)
+	}
+}
+
+func TestSearchRejectsMissingDatabase(t *testing.T) {
+	tools := buildTools(t)
+	cmd := exec.Command(tools["cafe-search"], "-db", filepath.Join(t.TempDir(), "nope"), "-q", "ACGTACGTACGT")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("missing database accepted:\n%s", out)
+	}
+}
+
+func TestBuildRejectsBadFasta(t *testing.T) {
+	tools := buildTools(t)
+	work := t.TempDir()
+	bad := filepath.Join(work, "bad.fasta")
+	if err := os.WriteFile(bad, []byte(">x\nACGT!!\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(tools["cafe-build"], "-in", bad, "-db", filepath.Join(work, "db"))
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("bad FASTA accepted:\n%s", out)
+	}
+}

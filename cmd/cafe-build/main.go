@@ -1,0 +1,70 @@
+// Command cafe-build constructs a nucleodb database (compressed
+// sequence store plus interval index) from a FASTA collection.
+//
+// Usage:
+//
+//	cafe-build -in collection.fasta -db ./mydb -k 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"nucleodb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cafe-build: ")
+
+	var (
+		in      = flag.String("in", "", "input FASTA path (required)")
+		out     = flag.String("db", "", "output database directory (required)")
+		k       = flag.Int("k", 9, "interval (substring) length, 1-12")
+		offsets = flag.Bool("offsets", true, "store occurrence offsets (enables diagonal ranking)")
+		stop    = flag.Float64("stop", 0, "index stopping: fraction of most frequent intervals to drop")
+		skip    = flag.Int("skip", 0, "posting-list skip interval (1 = sqrt heuristic, 0 = none)")
+		workers = flag.Int("workers", 0, "build parallelism (0 = all CPUs)")
+		mask    = flag.String("mask", "", "spaced seed mask (e.g. 111010010100110111); overrides -k")
+	)
+	flag.Parse()
+	if *in == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	cfg := nucleodb.DefaultBuildConfig()
+	cfg.IntervalLength = *k
+	cfg.StoreOffsets = *offsets
+	cfg.StopFraction = *stop
+	cfg.SkipInterval = *skip
+	cfg.Workers = *workers
+	cfg.SpacedMask = *mask
+
+	start := time.Now()
+	db, err := nucleodb.BuildFromFasta(f, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildTime := time.Since(start)
+	if err := db.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+
+	st := db.Stats()
+	fmt.Printf("built %s in %v\n", *out, buildTime.Round(time.Millisecond))
+	fmt.Printf("  sequences:      %d (%.1f Mbases)\n", st.NumSequences, float64(st.TotalBases)/1e6)
+	fmt.Printf("  store:          %.2f MB (%.3f bits/base)\n",
+		float64(st.StoreBytes)/1e6, 8*float64(st.StoreBytes)/float64(st.TotalBases))
+	fmt.Printf("  index:          %.2f MB (%d terms, %d stopped)\n",
+		float64(st.IndexBytes)/1e6, st.TermsIndexed, st.TermsStopped)
+}

@@ -1,0 +1,88 @@
+// Command cafe-gen generates a synthetic GenBank-like nucleotide
+// collection in FASTA format, with homologous families whose membership
+// is recorded in the description lines. It stands in for the GenBank
+// data the paper evaluated on (see DESIGN.md).
+//
+// Usage:
+//
+//	cafe-gen -seqs 10000 -seed 1 -out collection.fasta
+//	cafe-gen -seqs 2000 -queries 50 -qout queries.fasta -out collection.fasta
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nucleodb/internal/dna"
+	"nucleodb/internal/gen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cafe-gen: ")
+
+	var (
+		seqs       = flag.Int("seqs", 2000, "number of sequences to generate")
+		seed       = flag.Int64("seed", 1, "random seed")
+		meanLen    = flag.Int("meanlen", 900, "mean sequence length (log-normal)")
+		out        = flag.String("out", "", "output FASTA path (default stdout)")
+		queries    = flag.Int("queries", 0, "also derive this many homologous queries")
+		queryLen   = flag.Int("querylen", 400, "query fragment length")
+		divergence = flag.Float64("divergence", 0.10, "query mutation divergence")
+		qout       = flag.String("qout", "", "query FASTA path (required with -queries)")
+	)
+	flag.Parse()
+
+	cfg := gen.DefaultConfig(*seqs, *seed)
+	cfg.MeanLength = *meanLen
+	col, err := gen.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := dna.WriteFasta(w, col.Records, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "cafe-gen: wrote %d sequences, %.1f Mbases\n",
+		len(col.Records), float64(col.TotalBases())/1e6)
+
+	if *queries > 0 {
+		if *qout == "" {
+			log.Fatal("-queries needs -qout")
+		}
+		wcfg := gen.WorkloadConfig{
+			Seed:          *seed + 1,
+			NumHomologous: *queries,
+			QueryLength:   *queryLen,
+			Divergence:    *divergence,
+		}
+		qs, err := gen.MakeWorkload(col, wcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recs := make([]dna.Record, len(qs))
+		for i, q := range qs {
+			recs[i] = dna.Record{Desc: q.Name, Codes: q.Codes}
+		}
+		qf, err := os.Create(*qout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer qf.Close()
+		if err := dna.WriteFasta(qf, recs, 0); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cafe-gen: wrote %d queries to %s\n", len(qs), *qout)
+	}
+}

@@ -1,0 +1,126 @@
+// Command cafe-inspect prints diagnostics for a database built by
+// cafe-build: storage breakdown, interval-vocabulary statistics, the
+// posting-list length distribution, and the most frequent intervals —
+// the numbers that inform interval-length and stopping choices.
+//
+// Usage:
+//
+//	cafe-inspect -db ./mydb
+//	cafe-inspect -db ./mydb -top 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"nucleodb/internal/db"
+	"nucleodb/internal/index"
+	"nucleodb/internal/kmer"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cafe-inspect: ")
+
+	var (
+		dbDir = flag.String("db", "", "database directory (required)")
+		top   = flag.Int("top", 10, "how many of the most frequent intervals to list")
+	)
+	flag.Parse()
+	if *dbDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sf, err := os.Open(*dbDir + "/sequences.ndb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := db.Load(sf)
+	sf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	xf, err := os.Open(*dbDir + "/intervals.ndx")
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := index.Load(xf)
+	xf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("database %s\n\n", *dbDir)
+	fmt.Printf("store:\n")
+	fmt.Printf("  sequences:        %d\n", store.Len())
+	fmt.Printf("  bases:            %d (%.2f Mbases)\n", store.TotalBases(), float64(store.TotalBases())/1e6)
+	fmt.Printf("  compressed:       %d bytes (%.3f bits/base)\n",
+		store.EncodedBytes(), 8*float64(store.EncodedBytes())/float64(store.TotalBases()))
+	lens := make([]int, store.Len())
+	for i := range lens {
+		lens[i] = store.SeqLen(i)
+	}
+	sort.Ints(lens)
+	if len(lens) > 0 {
+		fmt.Printf("  length min/med/max: %d / %d / %d\n", lens[0], lens[len(lens)/2], lens[len(lens)-1])
+	}
+
+	opts := idx.Options()
+	fmt.Printf("\nindex:\n")
+	fmt.Printf("  interval length:  %d (vocabulary %d)\n", opts.K, idx.Coder().NumTerms())
+	fmt.Printf("  offsets stored:   %v\n", opts.StoreOffsets)
+	fmt.Printf("  skip interval:    %d\n", opts.SkipInterval)
+	fmt.Printf("  terms indexed:    %d (%.1f%% of vocabulary)\n",
+		idx.NumTermsIndexed(), 100*float64(idx.NumTermsIndexed())/float64(idx.Coder().NumTerms()))
+	fmt.Printf("  terms stopped:    %d (fraction %.4f)\n", idx.NumStopped(), opts.StopFraction)
+	fmt.Printf("  postings:         %d entries, %d bytes compressed\n", idx.TotalPostings(), idx.PostingsBytes())
+	if idx.TotalPostings() > 0 {
+		fmt.Printf("  bits/posting:     %.2f\n", 8*float64(idx.PostingsBytes())/float64(idx.TotalPostings()))
+	}
+
+	// Posting-list length distribution.
+	var dfs []int
+	type termDF struct {
+		term kmer.Term
+		df   int
+	}
+	var all []termDF
+	idx.Terms(func(t kmer.Term, df int) {
+		dfs = append(dfs, df)
+		all = append(all, termDF{t, df})
+	})
+	if len(dfs) > 0 {
+		sort.Ints(dfs)
+		pct := func(p float64) int { return dfs[int(p*float64(len(dfs)-1))] }
+		fmt.Printf("\nposting-list lengths (sequences per interval):\n")
+		fmt.Printf("  p50 %d   p90 %d   p99 %d   max %d\n", pct(0.50), pct(0.90), pct(0.99), pct(1))
+		singletons := 0
+		for _, df := range dfs {
+			if df == 1 {
+				singletons++
+			}
+		}
+		fmt.Printf("  singleton lists:  %d (%.1f%%)\n", singletons, 100*float64(singletons)/float64(len(dfs)))
+	}
+
+	if *top > 0 && len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].df != all[j].df {
+				return all[i].df > all[j].df
+			}
+			return all[i].term < all[j].term
+		})
+		if *top > len(all) {
+			*top = len(all)
+		}
+		fmt.Printf("\nmost frequent intervals:\n")
+		coder := idx.Coder()
+		for _, e := range all[:*top] {
+			fmt.Printf("  %s  in %d sequences\n", coder.String(e.term), e.df)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Command cafe-merge combines two databases built by cafe-build into
+// one, without re-indexing: the sequence stores are concatenated and
+// the interval indexes merged (see index.Merge). Both databases must
+// have been built with the same index options.
+//
+// Usage:
+//
+//	cafe-merge -a ./db1 -b ./db2 -out ./combined
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"nucleodb/internal/db"
+	"nucleodb/internal/index"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cafe-merge: ")
+
+	var (
+		aDir = flag.String("a", "", "first database directory (required)")
+		bDir = flag.String("b", "", "second database directory (required)")
+		out  = flag.String("out", "", "output database directory (required)")
+	)
+	flag.Parse()
+	if *aDir == "" || *bDir == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	storeA, idxA := load(*aDir)
+	storeB, idxB := load(*bDir)
+
+	merged, err := index.Merge(idxA, idxB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var store db.Store
+	for i := 0; i < storeA.Len(); i++ {
+		store.Add(storeA.Desc(i), storeA.Sequence(i))
+	}
+	for i := 0; i < storeB.Len(); i++ {
+		store.Add(storeB.Desc(i), storeB.Sequence(i))
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	save(filepath.Join(*out, "sequences.ndb"), store.Save)
+	save(filepath.Join(*out, "intervals.ndx"), merged.Save)
+
+	fmt.Printf("merged %d + %d sequences (%.1f Mbases) into %s in %v\n",
+		storeA.Len(), storeB.Len(), float64(store.TotalBases())/1e6,
+		*out, time.Since(start).Round(time.Millisecond))
+}
+
+func load(dir string) (*db.Store, *index.Index) {
+	sf, err := os.Open(filepath.Join(dir, "sequences.ndb"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := db.Load(sf)
+	sf.Close()
+	if err != nil {
+		log.Fatalf("%s: %v", dir, err)
+	}
+	xf, err := os.Open(filepath.Join(dir, "intervals.ndx"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := index.Load(xf)
+	xf.Close()
+	if err != nil {
+		log.Fatalf("%s: %v", dir, err)
+	}
+	return store, idx
+}
+
+func save(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Command cafe-search evaluates queries against a nucleodb database
+// built by cafe-build. Queries come from a FASTA file or a literal
+// sequence on the command line.
+//
+// Usage:
+//
+//	cafe-search -db ./mydb -q ACGTTGCA...
+//	cafe-search -db ./mydb -queries queries.fasta -limit 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"nucleodb"
+	"nucleodb/internal/dna"
+)
+
+// indent prefixes every non-empty line of text.
+func indent(text, prefix string) string {
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = prefix + l
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cafe-search: ")
+
+	var (
+		dbDir      = flag.String("db", "", "database directory (required)")
+		q          = flag.String("q", "", "literal query sequence")
+		queryFile  = flag.String("queries", "", "FASTA file of queries")
+		candidates = flag.Int("candidates", 100, "coarse-phase candidate budget")
+		limit      = flag.Int("limit", 20, "answers per query")
+		exact      = flag.Bool("exact", false, "exact (unbanded) fine alignment")
+		diagonal   = flag.Bool("diagonal", false, "diagonal coarse ranking (needs offsets)")
+		minScore   = flag.Int("minscore", 1, "minimum alignment score")
+		strands    = flag.Bool("strands", false, "search both strands")
+		show       = flag.Int("show", 0, "print full alignments for the top N answers")
+		paged      = flag.Bool("paged", false, "read posting lists from disk on demand instead of loading the index")
+		tsv        = flag.Bool("tsv", false, "tab-separated output: query, rank, id, desc, score, bits, evalue, strand, spans")
+	)
+	flag.Parse()
+	if *dbDir == "" || (*q == "" && *queryFile == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	open := nucleodb.Open
+	if *paged {
+		open = nucleodb.OpenPaged
+	}
+	db, err := open(*dbDir, nucleodb.DefaultScoring())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	opts := nucleodb.DefaultSearchOptions()
+	opts.Candidates = *candidates
+	opts.Limit = *limit
+	opts.Exact = *exact
+	opts.Diagonal = *diagonal
+	opts.MinScore = *minScore
+	opts.BothStrands = *strands
+
+	type namedQuery struct {
+		name string
+		seq  string
+	}
+	var queries []namedQuery
+	if *q != "" {
+		queries = append(queries, namedQuery{"query", *q})
+	}
+	if *queryFile != "" {
+		f, err := os.Open(*queryFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recs, err := dna.ReadAll(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range recs {
+			queries = append(queries, namedQuery{r.Desc, dna.String(r.Codes)})
+		}
+	}
+
+	for _, nq := range queries {
+		start := time.Now()
+		rs, err := db.Search(nq.seq, opts)
+		if err != nil {
+			log.Fatalf("%s: %v", nq.name, err)
+		}
+		if *tsv {
+			for i, r := range rs {
+				strand := "+"
+				if r.Reverse {
+					strand = "-"
+				}
+				fmt.Printf("%s\t%d\t%d\t%s\t%d\t%.1f\t%.3g\t%s\t%d\t%d\t%d\t%d\n",
+					nq.name, i+1, r.ID, r.Desc, r.Score, r.Bits, r.EValue, strand,
+					r.QueryStart, r.QueryEnd, r.SubjectStart, r.SubjectEnd)
+			}
+			continue
+		}
+		fmt.Printf("query %s (%d bases): %d answers in %v\n",
+			nq.name, len(nq.seq), len(rs), time.Since(start).Round(time.Microsecond))
+		for i, r := range rs {
+			strand := ""
+			if r.Reverse {
+				strand = " (minus strand)"
+			}
+			fmt.Printf("  %2d. score %-6d bits %-7.1f E %-10.2g seq %-6d %s%s",
+				i+1, r.Score, r.Bits, r.EValue, r.ID, r.Desc, strand)
+			if r.Identity > 0 {
+				fmt.Printf("  (identity %.0f%%, q[%d:%d] s[%d:%d])",
+					100*r.Identity, r.QueryStart, r.QueryEnd, r.SubjectStart, r.SubjectEnd)
+			}
+			fmt.Println()
+			if i < *show {
+				text, err := db.Alignment(nq.seq, r.ID)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Println(indent(text, "      "))
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Quickstart: build an in-memory nucleotide database from a handful of
+// records, search it with a mutated fragment, and print the ranked
+// answers. This is the smallest end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nucleodb"
+)
+
+func main() {
+	// A toy collection: two related 16S-like fragments and unrelated
+	// filler. Real collections come from FASTA via BuildFromFasta.
+	records := []nucleodb.Record{
+		{Desc: "gene-A reference", Sequence: "ACGTTGCAGGCCTTAAGGCCAACGTTGCAGGCCTTAAGGCCAACGTTGCAGGCCTTAAGGCCA"},
+		{Desc: "gene-A variant", Sequence: "ACGTTGCAGGCCTAAAGGCCAACGTTGCAGGCATTAAGGCCAACGTTGCAGGCCTTAAGGACA"},
+		{Desc: "unrelated-1", Sequence: "TTTTAAAACCCCGGGGTTTTAAAACCCCGGGGTTTTAAAACCCCGGGGTTTTAAAACCCCGGGG"},
+		{Desc: "unrelated-2", Sequence: "GAGAGAGATCTCTCTCGAGAGAGATCTCTCTCGAGAGAGATCTCTCTCGAGAGAGATCTCTCT"},
+	}
+
+	cfg := nucleodb.DefaultBuildConfig()
+	cfg.IntervalLength = 8 // short intervals suit a toy collection
+	db, err := nucleodb.Build(records, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := db.Stats()
+	fmt.Printf("database: %d sequences, %d bases, store %d bytes, index %d bytes\n",
+		st.NumSequences, st.TotalBases, st.StoreBytes, st.IndexBytes)
+
+	// The query is a fragment of gene-A with a couple of point changes
+	// — exactly the "similar sequence" a biologist would look up.
+	query := "ACGTTGCAGGCCTTAAGGCCTACGTTGCAGACCTTAAGG"
+
+	opts := nucleodb.DefaultSearchOptions()
+	opts.MinCoarseHits = 1 // tiny collection: accept sparse coarse evidence
+	opts.Exact = true      // exact fine alignment, with transcript
+	results, err := db.Search(query, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("query (%d bases): %d answers\n", len(query), len(results))
+	for i, r := range results {
+		fmt.Printf("  %d. %-18s score=%-4d identity=%.0f%%  query[%d:%d] ↔ subject[%d:%d]\n",
+			i+1, r.Desc, r.Score, 100*r.Identity,
+			r.QueryStart, r.QueryEnd, r.SubjectStart, r.SubjectEnd)
+	}
+}

@@ -1,0 +1,3 @@
+module nucleodb
+
+go 1.22

@@ -1,0 +1,52 @@
+package nucleodb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHSPsRepeatedDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	domain := letters(rng, 80)
+	subject := letters(rng, 100) + domain + letters(rng, 120) + domain + letters(rng, 100)
+	recs := []Record{{Desc: "two-domain", Sequence: subject}}
+	for i := 0; i < 10; i++ {
+		recs = append(recs, Record{Desc: "noise", Sequence: letters(rng, 300)})
+	}
+	db, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsps, err := db.HSPs(domain, 0, 5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hsps) != 2 {
+		t.Fatalf("got %d HSPs, want 2", len(hsps))
+	}
+	for _, h := range hsps {
+		if h.Identity < 0.99 {
+			t.Errorf("domain copy identity %.2f", h.Identity)
+		}
+		if h.EValue > 1e-10 {
+			t.Errorf("domain copy E-value %g", h.EValue)
+		}
+	}
+	if hsps[0].SubjectStart == hsps[1].SubjectStart {
+		t.Error("HSPs not disjoint")
+	}
+}
+
+func TestHSPsErrors(t *testing.T) {
+	recs, query, _ := testRecords(86)
+	db, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.HSPs("AC-GT", 0, 3, 1); err == nil {
+		t.Error("invalid query accepted")
+	}
+	if _, err := db.HSPs(query, 999999, 3, 1); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+}

@@ -1,0 +1,154 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"nucleodb/internal/dna"
+)
+
+func TestBandedEqualsFullWhenBandCoversAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := DefaultScoring()
+	for trial := 0; trial < 50; trial++ {
+		a := randomSeq(rng, 1+rng.Intn(50))
+		b := randomSeq(rng, 1+rng.Intn(50))
+		full, _, _ := LocalScore(a, b, s)
+		// A band wide enough to cover every diagonal.
+		band := len(a) + len(b)
+		got, _, _ := BandedLocalScore(a, b, 0, band, s)
+		if got != full {
+			t.Fatalf("trial %d: banded(full width) = %d, full = %d\na=%s\nb=%s",
+				trial, got, full, dna.String(a), dna.String(b))
+		}
+	}
+}
+
+func TestBandedIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	s := DefaultScoring()
+	for trial := 0; trial < 50; trial++ {
+		a := randomSeq(rng, 1+rng.Intn(80))
+		b := randomSeq(rng, 1+rng.Intn(80))
+		full, _, _ := LocalScore(a, b, s)
+		for _, band := range []int{0, 2, 8} {
+			centre := rng.Intn(len(b)+len(a)) - len(a)
+			got, _, _ := BandedLocalScore(a, b, centre, band, s)
+			if got > full {
+				t.Fatalf("banded %d > full %d (band %d centre %d)", got, full, band, centre)
+			}
+			if got < 0 {
+				t.Fatalf("banded score negative: %d", got)
+			}
+		}
+	}
+}
+
+func TestBandedFindsOffsetMatch(t *testing.T) {
+	s := DefaultScoring()
+	// b contains a at offset 10: the match lies on diagonal 10.
+	a := seqOf("ACGTACGTACGT")
+	prefix := seqOf("TTTTTGTTTG")
+	b := append(append([]byte{}, prefix...), a...)
+	score, aEnd, bEnd := BandedLocalScore(a, b, 10, 2, s)
+	if want := len(a) * s.Match; score != want {
+		t.Errorf("banded score = %d, want %d", score, want)
+	}
+	if aEnd != len(a) || bEnd != len(b) {
+		t.Errorf("banded ends = (%d,%d), want (%d,%d)", aEnd, bEnd, len(a), len(b))
+	}
+	// With the band centred far from the true diagonal the match is
+	// invisible.
+	miss, _, _ := BandedLocalScore(a, b, -8, 1, s)
+	if miss >= score {
+		t.Errorf("mis-centred band score %d not below %d", miss, score)
+	}
+}
+
+func TestBandedHandlesGapsWithinBand(t *testing.T) {
+	s := DefaultScoring()
+	a := seqOf("ACGTACGTACGTACGTACGT")
+	// Delete one base in the middle: alignment needs one gap, shifting
+	// the diagonal by one — well within a band of 4.
+	b := append(append([]byte{}, a[:10]...), a[11:]...)
+	full, _, _ := LocalScore(a, b, s)
+	got, _, _ := BandedLocalScore(a, b, 0, 4, s)
+	if got != full {
+		t.Errorf("banded = %d, full = %d", got, full)
+	}
+}
+
+func TestBandedLocalMatchesScoreAndReplays(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	s := DefaultScoring()
+	for trial := 0; trial < 150; trial++ {
+		a := randomSeq(rng, 1+rng.Intn(60))
+		b := randomSeq(rng, 1+rng.Intn(60))
+		band := rng.Intn(12)
+		centre := rng.Intn(len(b)+len(a)) - len(a)
+		wantScore, _, _ := BandedLocalScore(a, b, centre, band, s)
+		al := BandedLocal(a, b, centre, band, s)
+		if al.Score != wantScore {
+			t.Fatalf("trial %d: traceback score %d, score-only %d (band %d centre %d)",
+				trial, al.Score, wantScore, band, centre)
+		}
+		if al.Score > 0 {
+			checkTranscript(t, a, b, al, s)
+		}
+	}
+}
+
+func TestBandedLocalEqualsLocalWhenWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(192))
+	s := DefaultScoring()
+	for trial := 0; trial < 50; trial++ {
+		a := randomSeq(rng, 1+rng.Intn(40))
+		b := randomSeq(rng, 1+rng.Intn(40))
+		full := Local(a, b, s)
+		wide := BandedLocal(a, b, 0, len(a)+len(b), s)
+		if wide.Score != full.Score {
+			t.Fatalf("trial %d: wide band %d, full %d", trial, wide.Score, full.Score)
+		}
+		if full.Score > 0 {
+			if wide.AStart != full.AStart || wide.AEnd != full.AEnd ||
+				wide.BStart != full.BStart || wide.BEnd != full.BEnd {
+				t.Fatalf("trial %d: spans differ: %+v vs %+v", trial, wide, full)
+			}
+		}
+	}
+}
+
+func TestBandedLocalTranscriptOnOffsetMatch(t *testing.T) {
+	s := DefaultScoring()
+	a := seqOf("ACGTACGTACGT")
+	b := append(append([]byte{}, seqOf("TTTTTGTTTG")...), a...)
+	al := BandedLocal(a, b, 10, 2, s)
+	if al.Score != len(a)*s.Match || al.Matches != len(a) {
+		t.Fatalf("offset match alignment = %+v", al)
+	}
+	if al.BStart != 10 || al.BEnd != 10+len(a) {
+		t.Errorf("subject span [%d,%d), want [10,%d)", al.BStart, al.BEnd, 10+len(a))
+	}
+	checkTranscript(t, a, b, al, s)
+}
+
+func TestBandedDegenerate(t *testing.T) {
+	s := DefaultScoring()
+	if score, _, _ := BandedLocalScore(nil, seqOf("ACGT"), 0, 4, s); score != 0 {
+		t.Errorf("empty a score %d", score)
+	}
+	if score, _, _ := BandedLocalScore(seqOf("ACGT"), nil, 0, 4, s); score != 0 {
+		t.Errorf("empty b score %d", score)
+	}
+	if score, _, _ := BandedLocalScore(seqOf("ACGT"), seqOf("ACGT"), 0, -1, s); score != 0 {
+		t.Errorf("negative band score %d", score)
+	}
+	// Band entirely off the subject.
+	if score, _, _ := BandedLocalScore(seqOf("ACGT"), seqOf("ACGT"), 100, 2, s); score != 0 {
+		t.Errorf("off-subject band score %d", score)
+	}
+	// Zero band on the exact diagonal: pure ungapped alignment.
+	if score, _, _ := BandedLocalScore(seqOf("ACGT"), seqOf("ACGT"), 0, 0, s); score != 20 {
+		t.Errorf("zero-band diagonal score %d, want 20", score)
+	}
+}

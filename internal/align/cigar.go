@@ -1,0 +1,85 @@
+package align
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CIGAR renders the transcript in SAM CIGAR notation with the query in
+// the read role: M for aligned columns (matches and mismatches), I for
+// query bases absent from the subject (OpBGap), D for subject bases
+// absent from the query (OpAGap). An empty transcript yields "".
+func (al *Alignment) CIGAR() string {
+	if len(al.Ops) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	runOp := al.Ops[0]
+	run := 0
+	flush := func() {
+		b.WriteString(strconv.Itoa(run))
+		b.WriteByte(cigarLetter(runOp))
+	}
+	for _, o := range al.Ops {
+		if o == runOp {
+			run++
+			continue
+		}
+		flush()
+		runOp, run = o, 1
+	}
+	flush()
+	return b.String()
+}
+
+func cigarLetter(o byte) byte {
+	switch o {
+	case OpMatch:
+		return 'M'
+	case OpBGap:
+		return 'I' // query base consumed alone
+	case OpAGap:
+		return 'D' // subject base consumed alone
+	}
+	panic(fmt.Sprintf("align: unknown op %q", o))
+}
+
+// ParseCIGAR converts CIGAR notation back into a transcript, the
+// inverse of CIGAR for the M/I/D alphabet.
+func ParseCIGAR(s string) ([]byte, error) {
+	var ops []byte
+	n := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+			if n > 1<<30 {
+				return nil, fmt.Errorf("align: cigar run length overflow at %d", i)
+			}
+			continue
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("align: cigar op %q at %d has no count", c, i)
+		}
+		var op byte
+		switch c {
+		case 'M':
+			op = OpMatch
+		case 'I':
+			op = OpBGap
+		case 'D':
+			op = OpAGap
+		default:
+			return nil, fmt.Errorf("align: unsupported cigar op %q at %d", c, i)
+		}
+		for k := 0; k < n; k++ {
+			ops = append(ops, op)
+		}
+		n = 0
+	}
+	if n != 0 {
+		return nil, fmt.Errorf("align: trailing count %d without op", n)
+	}
+	return ops, nil
+}

@@ -1,0 +1,66 @@
+package align
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestCIGARKnown(t *testing.T) {
+	al := Alignment{Ops: []byte{
+		OpMatch, OpMatch, OpMatch,
+		OpAGap, OpAGap,
+		OpMatch,
+		OpBGap,
+		OpMatch, OpMatch,
+	}}
+	if got := al.CIGAR(); got != "3M2D1M1I2M" {
+		t.Errorf("CIGAR = %q, want 3M2D1M1I2M", got)
+	}
+}
+
+func TestCIGAREmpty(t *testing.T) {
+	al := Alignment{}
+	if got := al.CIGAR(); got != "" {
+		t.Errorf("empty CIGAR = %q", got)
+	}
+}
+
+func TestCIGARRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	s := DefaultScoring()
+	for trial := 0; trial < 50; trial++ {
+		a := randomSeq(rng, 20+rng.Intn(60))
+		b := randomSeq(rng, 20+rng.Intn(60))
+		al := Local(a, b, s)
+		if len(al.Ops) == 0 {
+			continue
+		}
+		ops, err := ParseCIGAR(al.CIGAR())
+		if err != nil {
+			t.Fatalf("ParseCIGAR(%q): %v", al.CIGAR(), err)
+		}
+		if !bytes.Equal(ops, al.Ops) {
+			t.Fatalf("round trip changed ops: %q", al.CIGAR())
+		}
+	}
+}
+
+func TestParseCIGARErrors(t *testing.T) {
+	for _, bad := range []string{"M", "3", "3X", "03M4", "3M0I"} {
+		if _, err := ParseCIGAR(bad); err == nil {
+			t.Errorf("ParseCIGAR(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseCIGARValid(t *testing.T) {
+	ops, err := ParseCIGAR("2M1D3M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{OpMatch, OpMatch, OpAGap, OpMatch, OpMatch, OpMatch}
+	if !bytes.Equal(ops, want) {
+		t.Errorf("ops = %q, want %q", ops, want)
+	}
+}

@@ -1,0 +1,72 @@
+package align
+
+import (
+	"testing"
+)
+
+func TestExtendUngappedPerfect(t *testing.T) {
+	s := DefaultScoring()
+	a := seqOf("ACGTACGTACGT")
+	b := seqOf("ACGTACGTACGT")
+	// Seed in the middle; extension must cover both sequences fully.
+	score, aStart, aEnd, bStart, bEnd := ExtendUngapped(a, b, 4, 4, 4, s, 20)
+	if want := len(a) * s.Match; score != want {
+		t.Errorf("score = %d, want %d", score, want)
+	}
+	if aStart != 0 || bStart != 0 || aEnd != len(a) || bEnd != len(b) {
+		t.Errorf("spans = a[%d,%d) b[%d,%d)", aStart, aEnd, bStart, bEnd)
+	}
+}
+
+func TestExtendUngappedStopsAtXDrop(t *testing.T) {
+	s := DefaultScoring()
+	// Matching core flanked by long mismatching runs: extension must
+	// stop near the core boundary.
+	a := seqOf("AAAAAAAAAA" + "CGCGCGCG" + "AAAAAAAAAA")
+	b := seqOf("TTTTTTTTTT" + "CGCGCGCG" + "TTTTTTTTTT")
+	score, aStart, aEnd, bStart, bEnd := ExtendUngapped(a, b, 10, 10, 8, s, 8)
+	if want := 8 * s.Match; score != want {
+		t.Errorf("score = %d, want %d", score, want)
+	}
+	if aStart != 10 || aEnd != 18 || bStart != 10 || bEnd != 18 {
+		t.Errorf("spans = a[%d,%d) b[%d,%d), want [10,18)", aStart, aEnd, bStart, bEnd)
+	}
+}
+
+func TestExtendUngappedCrossesSmallDip(t *testing.T) {
+	s := DefaultScoring()
+	// One mismatch inside a long match: a generous x-drop lets the
+	// extension climb through it.
+	a := seqOf("ACGTACGTACGTACGTACGT")
+	b := append([]byte{}, a...)
+	b[2] ^= 1 // force a mismatch near the left end
+	score, aStart, _, bStart, _ := ExtendUngapped(a, b, 10, 10, 4, s, 50)
+	if aStart != 0 || bStart != 0 {
+		t.Errorf("extension did not reach the start: a=%d b=%d", aStart, bStart)
+	}
+	want := (len(a)-1)*s.Match - s.Mismatch
+	if score != want {
+		t.Errorf("score = %d, want %d", score, want)
+	}
+}
+
+func TestExtendUngappedAtBoundaries(t *testing.T) {
+	s := DefaultScoring()
+	a := seqOf("ACGT")
+	b := seqOf("ACGT")
+	// Seed covering the whole sequences: nothing to extend.
+	score, aStart, aEnd, bStart, bEnd := ExtendUngapped(a, b, 0, 0, 4, s, 10)
+	if score != 20 || aStart != 0 || aEnd != 4 || bStart != 0 || bEnd != 4 {
+		t.Errorf("whole-sequence seed: score=%d spans a[%d,%d) b[%d,%d)", score, aStart, aEnd, bStart, bEnd)
+	}
+}
+
+func TestExtendUngappedNeverBelowSeedScore(t *testing.T) {
+	s := DefaultScoring()
+	a := seqOf("TTTTACGTTTTT")
+	b := seqOf("GGGGACGTGGGG")
+	score, _, _, _, _ := ExtendUngapped(a, b, 4, 4, 4, s, 4)
+	if score < 4*s.Match {
+		t.Errorf("extension lowered the seed score: %d", score)
+	}
+}

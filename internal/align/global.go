@@ -1,0 +1,54 @@
+package align
+
+// GlobalScore computes the Needleman–Wunsch global alignment score of a
+// and b with affine gaps, in O(len(a)·len(b)) time and O(len(b)) space.
+// Global alignment is not the system's answer semantics (local is), but
+// the evaluation uses it to verify the aligners against each other and
+// it completes the library for downstream users.
+func GlobalScore(a, b []byte, s Scoring) int {
+	const negInf = int32(-1 << 30)
+	n := len(b)
+	h := make([]int32, n+1)
+	e := make([]int32, n+1)
+	openExt := int32(s.GapOpen + s.GapExtend)
+	ext := int32(s.GapExtend)
+
+	// Row 0: leading gaps in a.
+	h[0] = 0
+	e[0] = negInf
+	for j := 1; j <= n; j++ {
+		h[j] = -int32(s.GapOpen) - int32(j)*ext
+		e[j] = negInf
+	}
+	for i := 1; i <= len(a); i++ {
+		diag := h[0]
+		h[0] = -int32(s.GapOpen) - int32(i)*ext
+		f := negInf
+		ca := a[i-1]
+		for j := 1; j <= n; j++ {
+			up := h[j]
+			ev := e[j] - ext
+			if v := up - openExt; v > ev {
+				ev = v
+			}
+			e[j] = ev
+
+			fv := f - ext
+			if v := h[j-1] - openExt; v > fv {
+				fv = v
+			}
+			f = fv
+
+			hv := diag + int32(s.Score(ca, b[j-1]))
+			if ev > hv {
+				hv = ev
+			}
+			if fv > hv {
+				hv = fv
+			}
+			diag = up
+			h[j] = hv
+		}
+	}
+	return int(h[n])
+}

@@ -1,0 +1,88 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refGlobalScore is a full-matrix Needleman–Wunsch reference.
+func refGlobalScore(a, b []byte, s Scoring) int {
+	const negInf = -(1 << 28)
+	n, m := len(a), len(b)
+	H := make([][]int, n+1)
+	E := make([][]int, n+1)
+	F := make([][]int, n+1)
+	for i := range H {
+		H[i] = make([]int, m+1)
+		E[i] = make([]int, m+1)
+		F[i] = make([]int, m+1)
+	}
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= m; j++ {
+			E[i][j], F[i][j] = negInf, negInf
+			if i == 0 && j == 0 {
+				H[i][j] = 0
+				continue
+			}
+			H[i][j] = negInf
+			if i > 0 {
+				E[i][j] = max(E[i-1][j]-s.GapExtend, H[i-1][j]-s.GapOpen-s.GapExtend)
+			}
+			if j > 0 {
+				F[i][j] = max(F[i][j-1]-s.GapExtend, H[i][j-1]-s.GapOpen-s.GapExtend)
+			}
+			if i > 0 && j > 0 {
+				H[i][j] = H[i-1][j-1] + s.Score(a[i-1], b[j-1])
+			}
+			H[i][j] = max(H[i][j], max(E[i][j], F[i][j]))
+		}
+	}
+	return H[n][m]
+}
+
+func TestGlobalScoreKnown(t *testing.T) {
+	s := DefaultScoring()
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"ACGT", "ACGT", 20},
+		{"ACGT", "ACGA", 11},  // 3 matches − 1 mismatch = 15−4
+		{"ACGTA", "ACGT", 8},  // 4 matches − (open + extend) = 20−12
+		{"ACGT", "ACGTA", 8},  // symmetric
+		{"AAAA", "TTTT", -16}, // all mismatches
+	}
+	for _, c := range cases {
+		if got := GlobalScore(seqOf(c.a), seqOf(c.b), s); got != c.want {
+			t.Errorf("GlobalScore(%s,%s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestGlobalMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	s := DefaultScoring()
+	for trial := 0; trial < 50; trial++ {
+		a := randomSeq(rng, 1+rng.Intn(40))
+		b := randomSeq(rng, 1+rng.Intn(40))
+		got := GlobalScore(a, b, s)
+		want := refGlobalScore(a, b, s)
+		if got != want {
+			t.Fatalf("trial %d: GlobalScore = %d, reference %d", trial, got, want)
+		}
+	}
+}
+
+func TestGlobalNeverExceedsLocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	s := DefaultScoring()
+	for trial := 0; trial < 30; trial++ {
+		a := randomSeq(rng, 1+rng.Intn(40))
+		b := randomSeq(rng, 1+rng.Intn(40))
+		g := GlobalScore(a, b, s)
+		l, _, _ := LocalScore(a, b, s)
+		if g > l {
+			t.Fatalf("global %d > local %d", g, l)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package align
+
+// GlocalScore computes the best semi-global ("glocal") alignment score
+// of a against b: all of a must align, anywhere within b — leading and
+// trailing unaligned subject bases are free, gaps inside the alignment
+// are charged. This is the read-mapping semantics: a sequencing read
+// (a) is expected to be entirely present in the reference (b), unlike
+// local alignment which may clip low-quality read ends, and unlike
+// global alignment which would charge b's flanks.
+//
+// It returns the best score and the (exclusive) end position of the
+// alignment in b. A negative score is possible when a fits nowhere
+// well. Use Glocal for the full subject span.
+func GlocalScore(a, b []byte, s Scoring) (score, bEnd int) {
+	if len(a) == 0 {
+		return 0, 0
+	}
+	const negInf = int32(-1 << 29)
+	n := len(b)
+	h := make([]int32, n+1)
+	e := make([]int32, n+1)
+	for j := 0; j <= n; j++ {
+		h[j] = 0 // the alignment may start anywhere in b for free
+		e[j] = negInf
+	}
+	openExt := int32(s.GapOpen + s.GapExtend)
+	ext := int32(s.GapExtend)
+
+	for i := 1; i <= len(a); i++ {
+		diag := h[0]
+		h[0] = -int32(s.GapOpen) - int32(i)*ext
+		f := negInf
+		ca := a[i-1]
+		for j := 1; j <= n; j++ {
+			up := h[j]
+			ev := e[j] - ext
+			if v := up - openExt; v > ev {
+				ev = v
+			}
+			e[j] = ev
+
+			fv := f - ext
+			if v := h[j-1] - openExt; v > fv {
+				fv = v
+			}
+			f = fv
+
+			hv := diag + int32(s.Score(ca, b[j-1]))
+			if ev > hv {
+				hv = ev
+			}
+			if fv > hv {
+				hv = fv
+			}
+			diag = up
+			h[j] = hv
+		}
+	}
+	best := negInf
+	bestJ := 0
+	for j := 0; j <= n; j++ {
+		if h[j] > best {
+			best = h[j]
+			bestJ = j
+		}
+	}
+	return int(best), bestJ
+}
+
+// Glocal computes the semi-global alignment of a within b and returns
+// the score with the half-open subject span, locating the start with a
+// second pass over the reversed prefixes (the same trick LocalLinear
+// uses).
+func Glocal(a, b []byte, s Scoring) (score, bStart, bEnd int) {
+	score, bEnd = GlocalScore(a, b, s)
+	if len(a) == 0 {
+		return score, 0, 0
+	}
+	rScore, rEnd := GlocalScore(reverseSeq(a), reverseSeq(b[:bEnd]), s)
+	if rScore != score {
+		panic("align: forward/reverse glocal score mismatch")
+	}
+	return score, bEnd - rEnd, bEnd
+}

@@ -1,0 +1,91 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refGlocal is a brute-force reference: the best global alignment of a
+// against every substring b[i:j].
+func refGlocal(a, b []byte, s Scoring) (int, int, int) {
+	best, bi, bj := -(1 << 30), 0, 0
+	for i := 0; i <= len(b); i++ {
+		for j := i; j <= len(b); j++ {
+			sc := GlobalScore(a, b[i:j], s)
+			if sc > best {
+				best, bi, bj = sc, i, j
+			}
+		}
+	}
+	return best, bi, bj
+}
+
+func TestGlocalEmbeddedRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	s := DefaultScoring()
+	ref := randomSeq(rng, 500)
+	read := append([]byte{}, ref[200:300]...)
+	score, bStart, bEnd := Glocal(read, ref, s)
+	if want := 100 * s.Match; score != want {
+		t.Errorf("embedded read score %d, want %d", score, want)
+	}
+	if bStart != 200 || bEnd != 300 {
+		t.Errorf("span [%d,%d), want [200,300)", bStart, bEnd)
+	}
+}
+
+func TestGlocalMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(172))
+	s := DefaultScoring()
+	for trial := 0; trial < 30; trial++ {
+		a := randomSeq(rng, 1+rng.Intn(12))
+		b := randomSeq(rng, 1+rng.Intn(25))
+		got, _, _ := Glocal(a, b, s)
+		want, _, _ := refGlocal(a, b, s)
+		if got != want {
+			t.Fatalf("trial %d: glocal %d, reference %d", trial, got, want)
+		}
+	}
+}
+
+func TestGlocalChargesQueryFully(t *testing.T) {
+	s := DefaultScoring()
+	// A query with no home: only 4 of 8 bases can match. Local
+	// alignment would clip; glocal must charge the rest.
+	a := seqOf("ACGTTTTT")
+	b := seqOf("ACGT")
+	glocal, _, _ := Glocal(a, b, s)
+	local, _, _ := LocalScore(a, b, s)
+	if glocal >= local {
+		t.Errorf("glocal %d not below local %d for a partially homeless query", glocal, local)
+	}
+}
+
+func TestGlocalDegenerate(t *testing.T) {
+	s := DefaultScoring()
+	if score, bStart, bEnd := Glocal(nil, seqOf("ACGT"), s); score != 0 || bStart != bEnd {
+		t.Errorf("empty query glocal = %d [%d,%d)", score, bStart, bEnd)
+	}
+	// Empty subject: the query is one big gap.
+	score, _, _ := Glocal(seqOf("ACGT"), nil, s)
+	if want := -(s.GapOpen + 4*s.GapExtend); score != want {
+		t.Errorf("empty subject score %d, want %d", score, want)
+	}
+}
+
+func TestGlocalWithIndel(t *testing.T) {
+	rng := rand.New(rand.NewSource(173))
+	s := DefaultScoring()
+	ref := randomSeq(rng, 400)
+	// Read with one base deleted relative to the reference.
+	read := append([]byte{}, ref[100:150]...)
+	read = append(read[:20], read[21:]...)
+	score, bStart, bEnd := Glocal(read, ref, s)
+	want := 49*s.Match - s.GapOpen - s.GapExtend
+	if score != want {
+		t.Errorf("indel read score %d, want %d", score, want)
+	}
+	if bStart != 100 || bEnd != 150 {
+		t.Errorf("span [%d,%d), want [100,150)", bStart, bEnd)
+	}
+}

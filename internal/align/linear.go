@@ -1,0 +1,275 @@
+package align
+
+// Linear-space local alignment with full traceback (Myers–Miller).
+//
+// Local's direction matrix costs one byte per DP cell, which caps the
+// problem sizes it can trace. LocalLinear produces an optimal local
+// alignment in O(len(b)) working space: two score-only passes locate
+// the end and start of the optimal local alignment, and a
+// divide-and-conquer global alignment (Myers & Miller, CABIOS 1988,
+// adapted from cost minimisation to score maximisation) reconstructs
+// the transcript between them.
+//
+// Gap costs follow the g + h·k decomposition used by Myers & Miller:
+// a gap of k columns costs g (= GapOpen) once plus h (= GapExtend) per
+// column, identical to the affine model elsewhere in this package.
+// The boundary parameters tb and te carry whether a gap touching the
+// top or bottom of a subproblem has already paid its g in an enclosing
+// call (0) or must pay it here (g).
+
+// LocalLinear computes the Smith–Waterman local alignment of a and b
+// with an affine-gap transcript in linear space and O(len(a)·len(b))
+// time, roughly twice the constant factor of the score-only pass.
+// The alignment score and spans always equal Local's; the transcript
+// is an optimal alignment (possibly a different co-optimal one).
+func LocalLinear(a, b []byte, s Scoring) Alignment {
+	score, aEnd, bEnd := LocalScore(a, b, s)
+	if score == 0 {
+		return Alignment{}
+	}
+	// The optimal local alignment of the reversed prefixes ends where
+	// the forward alignment starts.
+	ra := reverseSeq(a[:aEnd])
+	rb := reverseSeq(b[:bEnd])
+	rScore, raEnd, rbEnd := LocalScore(ra, rb, s)
+	if rScore != score {
+		// Both passes optimise the same quantity; a mismatch would be
+		// a bug in LocalScore, not an input condition.
+		panic("align: forward/reverse local score mismatch")
+	}
+	aStart := aEnd - raEnd
+	bStart := bEnd - rbEnd
+
+	mm := &mmAligner{a: a[aStart:aEnd], b: b[bStart:bEnd], s: s}
+	n := len(mm.b) + 1
+	mm.cc = make([]int32, n)
+	mm.dd = make([]int32, n)
+	mm.rr = make([]int32, n)
+	mm.ss = make([]int32, n)
+	g := int32(s.GapOpen)
+	mm.diff(0, 0, len(mm.a), len(mm.b), g, g)
+
+	al := Alignment{
+		Score:  score,
+		AStart: aStart,
+		AEnd:   aEnd,
+		BStart: bStart,
+		BEnd:   bEnd,
+		Ops:    mm.ops,
+	}
+	// Replay to fill the counters.
+	i, j := aStart, bStart
+	for _, o := range al.Ops {
+		switch o {
+		case OpMatch:
+			if s.Score(a[i], b[j]) > 0 {
+				al.Matches++
+			} else {
+				al.Mismatches++
+			}
+			i++
+			j++
+		case OpAGap:
+			al.Gaps++
+			j++
+		case OpBGap:
+			al.Gaps++
+			i++
+		}
+	}
+	return al
+}
+
+func reverseSeq(x []byte) []byte {
+	r := make([]byte, len(x))
+	for i, c := range x {
+		r[len(x)-1-i] = c
+	}
+	return r
+}
+
+const mmNegInf = int32(-1 << 29)
+
+// mmAligner carries the divide-and-conquer state.
+type mmAligner struct {
+	a, b []byte
+	s    Scoring
+	// cc[j]: best score of the forward subalignment ending at column j
+	// of the split row; dd[j]: ditto constrained to end mid-deletion.
+	// rr/ss are the reverse counterparts.
+	cc, dd []int32
+	rr, ss []int32
+	ops    []byte
+}
+
+func (m *mmAligner) g() int32 { return int32(m.s.GapOpen) }
+func (m *mmAligner) h() int32 { return int32(m.s.GapExtend) }
+
+func (m *mmAligner) emit(op byte, n int) {
+	for k := 0; k < n; k++ {
+		m.ops = append(m.ops, op)
+	}
+}
+
+// diff emits an optimal global alignment of a[i0:i0+M] with
+// b[j0:j0+N]. tb (te) is the open cost an initial (final) deletion run
+// must pay: g for a fresh gap, 0 when an enclosing call already opened
+// the gap this run continues.
+func (m *mmAligner) diff(i0, j0, M, N int, tb, te int32) {
+	g, h := m.g(), m.h()
+	if N == 0 {
+		if M > 0 {
+			m.emit(OpBGap, M)
+		}
+		return
+	}
+	if M == 0 {
+		m.emit(OpAGap, N)
+		return
+	}
+	if M == 1 {
+		m.diffRow(i0, j0, N, tb, te)
+		return
+	}
+
+	imid := M / 2
+
+	// Forward pass over a[i0 : i0+imid].
+	cc, dd := m.cc, m.dd
+	cc[0] = 0
+	t := -g
+	for j := 1; j <= N; j++ {
+		t -= h
+		cc[j] = t
+		dd[j] = t - g
+	}
+	dd[0] = mmNegInf // deletion state at (0,0) is undefined
+	t = -tb
+	for i := 1; i <= imid; i++ {
+		sDiag := cc[0]
+		t -= h
+		c := t
+		cc[0] = c
+		dd[0] = c // the column-0 run is itself a deletion state
+		e := mmNegInf
+		for j := 1; j <= N; j++ {
+			e = maxI32(e, c-g) - h
+			dd[j] = maxI32(dd[j], cc[j]-g) - h
+			c = maxI32(dd[j], maxI32(e, sDiag+int32(m.s.Score(m.a[i0+i-1], m.b[j0+j-1]))))
+			sDiag = cc[j]
+			cc[j] = c
+		}
+	}
+
+	// Reverse pass over a[i0+imid : i0+M], right to left.
+	rr, ss := m.rr, m.ss
+	rr[N] = 0
+	t = -g
+	for j := N - 1; j >= 0; j-- {
+		t -= h
+		rr[j] = t
+		ss[j] = t - g
+	}
+	ss[N] = mmNegInf
+	t = -te
+	M2 := M - imid
+	for i := 1; i <= M2; i++ {
+		sDiag := rr[N]
+		t -= h
+		c := t
+		rr[N] = c
+		ss[N] = c
+		e := mmNegInf
+		for j := N - 1; j >= 0; j-- {
+			e = maxI32(e, c-g) - h
+			ss[j] = maxI32(ss[j], rr[j]-g) - h
+			c = maxI32(ss[j], maxI32(e, sDiag+int32(m.s.Score(m.a[i0+M-i], m.b[j0+j]))))
+			sDiag = rr[j]
+			rr[j] = c
+		}
+	}
+
+	// Choose the split column: type 1 meets in a node, type 2 meets
+	// mid-deletion (the deletion's second g is refunded).
+	best := mmNegInf
+	bestJ, bestGap := 0, false
+	for j := 0; j <= N; j++ {
+		if v := cc[j] + rr[j]; v > best {
+			best = v
+			bestJ, bestGap = j, false
+		}
+		if dd[j] > mmNegInf/2 && ss[j] > mmNegInf/2 {
+			if v := dd[j] + ss[j] + g; v > best {
+				best = v
+				bestJ, bestGap = j, true
+			}
+		}
+	}
+
+	if bestGap {
+		// Rows imid-1 and imid both lie in the crossing deletion.
+		m.diff(i0, j0, imid-1, bestJ, tb, 0)
+		m.emit(OpBGap, 2)
+		m.diff(i0+imid+1, j0+bestJ, M-imid-1, N-bestJ, 0, te)
+	} else {
+		m.diff(i0, j0, imid, bestJ, tb, g)
+		m.diff(i0+imid, j0+bestJ, M-imid, N-bestJ, g, te)
+	}
+}
+
+// diffRow is the M = 1 base case: one a-base against b[j0:j0+N] with
+// N ≥ 1.
+func (m *mmAligner) diffRow(i0, j0, N int, tb, te int32) {
+	g, h := m.g(), m.h()
+	ca := m.a[i0]
+
+	// Option 1: the a-base aligns to some b[j0+k]; the other columns
+	// are insertion runs before and after.
+	bestK, best := -1, mmNegInf
+	for k := 0; k < N; k++ {
+		v := int32(m.s.Score(ca, m.b[j0+k]))
+		if k > 0 {
+			v -= g + int32(k)*h
+		}
+		if k < N-1 {
+			v -= g + int32(N-1-k)*h
+		}
+		if v > best {
+			best = v
+			bestK = k
+		}
+	}
+	// Option 2: the a-base is deleted (one-column deletion touching
+	// both boundaries, paying the cheaper boundary open) and all of B
+	// is one insertion run.
+	del := -(minI32(tb, te) + h) - (g + int32(N)*h)
+	if del > best {
+		if tb <= te {
+			// The deletion continues a gap opened above: keep it
+			// adjacent to the preceding transcript columns.
+			m.emit(OpBGap, 1)
+			m.emit(OpAGap, N)
+		} else {
+			m.emit(OpAGap, N)
+			m.emit(OpBGap, 1)
+		}
+		return
+	}
+	m.emit(OpAGap, bestK)
+	m.emit(OpMatch, 1)
+	m.emit(OpAGap, N-1-bestK)
+}
+
+func maxI32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLocalLinearMatchesLocalRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	s := DefaultScoring()
+	for trial := 0; trial < 400; trial++ {
+		a := randomSeq(rng, 1+rng.Intn(70))
+		b := randomSeq(rng, 1+rng.Intn(70))
+		full := Local(a, b, s)
+		lin := LocalLinear(a, b, s)
+		if lin.Score != full.Score {
+			t.Fatalf("trial %d: linear score %d, full %d", trial, lin.Score, full.Score)
+		}
+		if full.Score == 0 {
+			continue
+		}
+		if lin.AStart != full.AStart || lin.AEnd != full.AEnd ||
+			lin.BStart != full.BStart || lin.BEnd != full.BEnd {
+			// Co-optimal alignments may differ in span only if the
+			// scores still replay; spans come from the same two
+			// score passes, so they must agree exactly.
+			t.Fatalf("trial %d: spans differ: linear %+v vs full %+v", trial, lin, full)
+		}
+		checkTranscript(t, a, b, lin, s)
+	}
+}
+
+func TestLocalLinearGapHeavyScoring(t *testing.T) {
+	// Cheap gaps make optimal paths gap-rich, stressing the type-2
+	// (mid-deletion) splits.
+	rng := rand.New(rand.NewSource(102))
+	s := Scoring{Match: 5, Mismatch: 10, GapOpen: 1, GapExtend: 1}
+	for trial := 0; trial < 400; trial++ {
+		a := randomSeq(rng, 1+rng.Intn(50))
+		b := randomSeq(rng, 1+rng.Intn(50))
+		full := Local(a, b, s)
+		lin := LocalLinear(a, b, s)
+		if lin.Score != full.Score {
+			t.Fatalf("trial %d: linear score %d, full %d", trial, lin.Score, full.Score)
+		}
+		if full.Score > 0 {
+			checkTranscript(t, a, b, lin, s)
+		}
+	}
+}
+
+func TestLocalLinearLongIndel(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	s := DefaultScoring()
+	// b = a with a 30-base block deleted: the optimal alignment needs
+	// one long gap, exercising deep type-2 recursion.
+	a := randomSeq(rng, 200)
+	b := append(append([]byte{}, a[:100]...), a[130:]...)
+	full := Local(a, b, s)
+	lin := LocalLinear(a, b, s)
+	if lin.Score != full.Score {
+		t.Fatalf("linear %d, full %d", lin.Score, full.Score)
+	}
+	if lin.Gaps < 30 {
+		t.Errorf("expected a ≥30-column gap, got %d gap columns", lin.Gaps)
+	}
+	checkTranscript(t, a, b, lin, s)
+}
+
+func TestLocalLinearEmptyAndNoMatch(t *testing.T) {
+	s := DefaultScoring()
+	if al := LocalLinear(nil, seqOf("ACGT"), s); al.Score != 0 || len(al.Ops) != 0 {
+		t.Errorf("empty query = %+v", al)
+	}
+	if al := LocalLinear(seqOf("AAAA"), seqOf("TTTT"), s); al.Score != 0 {
+		t.Errorf("no-match = %+v", al)
+	}
+}
+
+func TestLocalLinearIdenticalSequences(t *testing.T) {
+	s := DefaultScoring()
+	a := seqOf("GATTACAGATTACAGATTACA")
+	al := LocalLinear(a, a, s)
+	if al.Score != len(a)*s.Match || al.Matches != len(a) || al.Gaps != 0 {
+		t.Errorf("self alignment = %+v", al)
+	}
+	checkTranscript(t, a, a, al, s)
+}
+
+func TestLocalLinearLargeStaysLinear(t *testing.T) {
+	// Sizes where Local's byte matrix would be ~100 MB work fine in
+	// linear space. Keep it modest for test time but beyond what the
+	// quadratic direction matrix would like.
+	rng := rand.New(rand.NewSource(104))
+	s := DefaultScoring()
+	root := randomSeq(rng, 4000)
+	b := append([]byte{}, root...)
+	// Scatter mutations.
+	for i := 0; i < 200; i++ {
+		p := rng.Intn(len(b))
+		b[p] = byte(rng.Intn(4))
+	}
+	full := Local(root, b, s)
+	lin := LocalLinear(root, b, s)
+	if lin.Score != full.Score {
+		t.Fatalf("linear %d, full %d", lin.Score, full.Score)
+	}
+	checkTranscript(t, root, b, lin, s)
+}

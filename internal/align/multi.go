@@ -1,0 +1,37 @@
+package align
+
+// LocalAll finds up to max local alignments of a against b with score
+// at least minScore, best-first, pairwise disjoint in the subject — the
+// multiple high-scoring segment pairs (HSPs) that search tools report
+// when a query matches a subject in several places (e.g. repeated
+// domains, or regions separated by an unalignable insert).
+//
+// The method is repeated alignment with subject masking, the practical
+// variant of Waterman–Eggert: after each alignment is reported its
+// subject span is overwritten with the Masked code, which matches
+// nothing, and the alignment is recomputed. Each round costs one full
+// Local pass, so the total is O(max · len(a) · len(b)).
+func LocalAll(a, b []byte, s Scoring, minScore, max int) []Alignment {
+	if minScore < 1 {
+		minScore = 1
+	}
+	if max <= 0 || len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	masked := append([]byte(nil), b...)
+	var out []Alignment
+	for len(out) < max {
+		al := Local(a, masked, s)
+		if al.Score < minScore {
+			break
+		}
+		if al.BEnd <= al.BStart {
+			break // defensive: a zero-width subject span cannot be masked
+		}
+		out = append(out, al)
+		for j := al.BStart; j < al.BEnd; j++ {
+			masked[j] = Masked
+		}
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+// Package align implements the local-alignment string matching the
+// system uses as its answer semantics: Smith–Waterman local alignment
+// (full dynamic programming with traceback, score-only linear space, and
+// banded variants with affine gap penalties), Needleman–Wunsch global
+// alignment, and the ungapped x-drop extension used by the BLAST-style
+// baseline.
+package align
+
+import (
+	"fmt"
+
+	"nucleodb/internal/dna"
+)
+
+// Scoring holds nucleotide alignment parameters. Penalties are
+// expressed as non-negative numbers and subtracted; an affine gap of
+// length L costs GapOpen + L×GapExtend.
+type Scoring struct {
+	Match     int // score for matching bases (> 0)
+	Mismatch  int // penalty for mismatching bases (≥ 0)
+	GapOpen   int // penalty for opening a gap (≥ 0)
+	GapExtend int // penalty for each gap position (> 0)
+}
+
+// DefaultScoring returns the FASTA-style nucleotide parameters used
+// throughout the experiments: +5/−4 substitution scores with affine
+// gaps, the classic settings for DNA database search.
+func DefaultScoring() Scoring {
+	return Scoring{Match: 5, Mismatch: 4, GapOpen: 10, GapExtend: 2}
+}
+
+// Validate reports whether the scoring scheme is usable.
+func (s Scoring) Validate() error {
+	if s.Match <= 0 {
+		return fmt.Errorf("align: match score %d must be positive", s.Match)
+	}
+	if s.Mismatch < 0 || s.GapOpen < 0 {
+		return fmt.Errorf("align: penalties must be non-negative: mismatch %d, gap open %d", s.Mismatch, s.GapOpen)
+	}
+	if s.GapExtend <= 0 {
+		return fmt.Errorf("align: gap extend %d must be positive", s.GapExtend)
+	}
+	return nil
+}
+
+// Masked is a pseudo-code that never matches anything, not even
+// itself. The repeated-alignment search (LocalAll) overwrites already
+// reported subject regions with it so later passes find disjoint
+// alignments.
+const Masked byte = 0xFF
+
+// Score returns the substitution score for aligning codes a and b.
+// Wildcards score as matches when their ambiguity sets intersect, so N
+// aligns neutrally against anything, matching how search tools treat
+// ambiguity codes. Codes outside the nucleotide alphabet (such as
+// Masked) always score as mismatches.
+func (s Scoring) Score(a, b byte) int {
+	if a >= dna.NumCodes || b >= dna.NumCodes {
+		return -s.Mismatch
+	}
+	if a == b || (a >= dna.NumBases || b >= dna.NumBases) && dna.Matches(a, b) {
+		return s.Match
+	}
+	return -s.Mismatch
+}

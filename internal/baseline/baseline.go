@@ -1,0 +1,56 @@
+// Package baseline implements the exhaustive-search comparators the
+// paper measures the partitioned approach against: a full
+// Smith–Waterman scan (the ssearch-style gold standard), a FASTA-style
+// diagonal-heuristic scan, and a BLAST1-style seed-and-extend scan.
+// Each scans every sequence in the collection — their cost grows
+// linearly with collection size, which is the paper's motivation for
+// indexing.
+package baseline
+
+import (
+	"sort"
+
+	"nucleodb/internal/align"
+)
+
+// Source supplies the sequences to scan. *db.Store satisfies it.
+type Source interface {
+	Len() int
+	Sequence(i int) []byte
+}
+
+// Result is one ranked answer: a sequence id and its similarity score.
+type Result struct {
+	ID    int
+	Score int
+}
+
+// sortResults orders by descending score, ascending id for ties, and
+// truncates to limit if limit > 0.
+func sortResults(rs []Result, limit int) []Result {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		return rs[i].ID < rs[j].ID
+	})
+	if limit > 0 && len(rs) > limit {
+		rs = rs[:limit]
+	}
+	return rs
+}
+
+// SWScan runs the exhaustive Smith–Waterman scan: the full local
+// alignment score of the query against every sequence. It returns the
+// top limit results with score ≥ minScore. This is the accuracy gold
+// standard and the slowest baseline.
+func SWScan(src Source, query []byte, s align.Scoring, minScore, limit int) []Result {
+	var rs []Result
+	for id := 0; id < src.Len(); id++ {
+		score, _, _ := align.LocalScore(query, src.Sequence(id), s)
+		if score >= minScore && score > 0 {
+			rs = append(rs, Result{ID: id, Score: score})
+		}
+	}
+	return sortResults(rs, limit)
+}

@@ -1,0 +1,190 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"nucleodb/internal/align"
+	"nucleodb/internal/db"
+	"nucleodb/internal/dna"
+	"nucleodb/internal/gen"
+)
+
+// testCollection builds a small synthetic store with known homology: a
+// family of mutated copies of one root plus random singletons. It
+// returns the store, a query fragment of the root, and the family ids.
+func testCollection(t *testing.T, seed int64) (*db.Store, []byte, map[int]bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var store db.Store
+	family := map[int]bool{}
+
+	root := gen.RandomSequence(rng, 600, [4]float64{0.25, 0.25, 0.25, 0.25}, 0)
+	model := gen.MutationModel{SubstitutionRate: 0.06, InsertionRate: 0.01, DeletionRate: 0.01}
+	for i := 0; i < 5; i++ {
+		id := store.Add("family", gen.Mutate(rng, root, model))
+		family[id] = true
+	}
+	for i := 0; i < 45; i++ {
+		store.Add("noise", gen.RandomSequence(rng, 400+rng.Intn(400), [4]float64{0.25, 0.25, 0.25, 0.25}, 0))
+	}
+	query := gen.Fragment(rng, root, 200)
+	return &store, query, family
+}
+
+func precisionAtK(results []Result, relevant map[int]bool, k int) float64 {
+	if k > len(results) {
+		k = len(results)
+	}
+	if k == 0 {
+		return 0
+	}
+	hit := 0
+	for _, r := range results[:k] {
+		if relevant[r.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(k)
+}
+
+func TestSWScanFindsFamily(t *testing.T) {
+	store, query, family := testCollection(t, 31)
+	rs := SWScan(store, query, align.DefaultScoring(), 0, 10)
+	if len(rs) == 0 {
+		t.Fatal("no results")
+	}
+	if p := precisionAtK(rs, family, len(family)); p < 0.99 {
+		t.Errorf("SW scan precision@%d = %.2f, want 1.0", len(family), p)
+	}
+	// Results must be sorted by descending score.
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Score > rs[i-1].Score {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestSWScanMinScoreAndLimit(t *testing.T) {
+	store, query, _ := testCollection(t, 32)
+	all := SWScan(store, query, align.DefaultScoring(), 0, 0)
+	if len(all) == 0 {
+		t.Fatal("no results")
+	}
+	top3 := SWScan(store, query, align.DefaultScoring(), 0, 3)
+	if len(top3) != 3 {
+		t.Fatalf("limit ignored: %d results", len(top3))
+	}
+	threshold := all[0].Score
+	strict := SWScan(store, query, align.DefaultScoring(), threshold, 0)
+	for _, r := range strict {
+		if r.Score < threshold {
+			t.Errorf("minScore violated: %+v", r)
+		}
+	}
+}
+
+func TestFastaScanAgreesWithSWOnTopHits(t *testing.T) {
+	store, query, family := testCollection(t, 33)
+	s := align.DefaultScoring()
+	fasta := FastaScan(store, query, s, DefaultFastaOptions(), 0, 10)
+	if p := precisionAtK(fasta, family, len(family)); p < 0.8 {
+		t.Errorf("FASTA precision@%d = %.2f, want ≥ 0.8", len(family), p)
+	}
+	// The heuristic's scores are bounded by the exhaustive scores.
+	swScores := map[int]int{}
+	for _, r := range SWScan(store, query, s, 0, 0) {
+		swScores[r.ID] = r.Score
+	}
+	for _, r := range fasta {
+		if sw, ok := swScores[r.ID]; ok && r.Score > sw {
+			t.Errorf("FASTA score %d exceeds SW %d for id %d", r.Score, sw, r.ID)
+		}
+	}
+}
+
+func TestBlastScanAgreesWithSWOnTopHits(t *testing.T) {
+	store, query, family := testCollection(t, 34)
+	s := align.DefaultScoring()
+	blast := BlastScan(store, query, s, DefaultBlastOptions(), 0, 10)
+	if p := precisionAtK(blast, family, len(family)); p < 0.8 {
+		t.Errorf("BLAST precision@%d = %.2f, want ≥ 0.8", len(family), p)
+	}
+}
+
+func TestBlastFindsExactSubstring(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	var store db.Store
+	target := gen.RandomSequence(rng, 500, [4]float64{0.25, 0.25, 0.25, 0.25}, 0)
+	store.Add("target", target)
+	for i := 0; i < 20; i++ {
+		store.Add("noise", gen.RandomSequence(rng, 500, [4]float64{0.25, 0.25, 0.25, 0.25}, 0))
+	}
+	query := gen.Fragment(rng, target, 80)
+	rs := BlastScan(&store, query, align.DefaultScoring(), DefaultBlastOptions(), 0, 1)
+	if len(rs) == 0 || rs[0].ID != 0 {
+		t.Fatalf("BLAST missed an exact substring: %+v", rs)
+	}
+	if want := len(query) * align.DefaultScoring().Match; rs[0].Score != want {
+		t.Errorf("exact substring score %d, want %d", rs[0].Score, want)
+	}
+}
+
+func TestFastaFindsExactSubstring(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	var store db.Store
+	target := gen.RandomSequence(rng, 500, [4]float64{0.25, 0.25, 0.25, 0.25}, 0)
+	store.Add("target", target)
+	for i := 0; i < 20; i++ {
+		store.Add("noise", gen.RandomSequence(rng, 500, [4]float64{0.25, 0.25, 0.25, 0.25}, 0))
+	}
+	query := gen.Fragment(rng, target, 80)
+	rs := FastaScan(&store, query, align.DefaultScoring(), DefaultFastaOptions(), 0, 1)
+	if len(rs) == 0 || rs[0].ID != 0 {
+		t.Fatalf("FASTA missed an exact substring: %+v", rs)
+	}
+}
+
+func TestScansOnEmptyStore(t *testing.T) {
+	var store db.Store
+	q := dna.MustEncode("ACGTACGTACGTACGT")
+	s := align.DefaultScoring()
+	if rs := SWScan(&store, q, s, 0, 10); len(rs) != 0 {
+		t.Error("SW scan on empty store returned results")
+	}
+	if rs := FastaScan(&store, q, s, DefaultFastaOptions(), 0, 10); len(rs) != 0 {
+		t.Error("FASTA scan on empty store returned results")
+	}
+	if rs := BlastScan(&store, q, s, DefaultBlastOptions(), 0, 10); len(rs) != 0 {
+		t.Error("BLAST scan on empty store returned results")
+	}
+}
+
+func TestScansWithShortSequences(t *testing.T) {
+	var store db.Store
+	store.Add("tiny", dna.MustEncode("ACG"))
+	store.Add("empty", nil)
+	q := dna.MustEncode("ACGTACGTACGTACGT")
+	s := align.DefaultScoring()
+	// Heuristic scans skip too-short sequences; SW still scores them.
+	if rs := SWScan(&store, q, s, 0, 10); len(rs) == 0 {
+		t.Error("SW scan ignored a short sequence with a partial match")
+	}
+	_ = FastaScan(&store, q, s, DefaultFastaOptions(), 0, 10)
+	_ = BlastScan(&store, q, s, DefaultBlastOptions(), 0, 10)
+}
+
+func TestTopDiagonals(t *testing.T) {
+	scores := map[int]int{3: 10, -2: 7, 0: 10, 9: 1}
+	got := topDiagonals(scores, 2)
+	// Ties broken toward the smaller diagonal: 0 before 3.
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Errorf("topDiagonals = %v, want [0 3]", got)
+	}
+	if got := topDiagonals(scores, 10); len(got) != 4 {
+		t.Errorf("topDiagonals(all) = %v", got)
+	}
+	if got := topDiagonals(map[int]int{}, 3); len(got) != 0 {
+		t.Errorf("topDiagonals(empty) = %v", got)
+	}
+}

@@ -1,0 +1,72 @@
+package baseline
+
+import (
+	"nucleodb/internal/align"
+	"nucleodb/internal/kmer"
+)
+
+// BlastOptions configures the BLAST1-style scanner.
+type BlastOptions struct {
+	// W is the word length triggering extensions; BLASTN's classic
+	// default is 11.
+	W int
+	// XDrop stops an ungapped extension when the running score falls
+	// this far below the best seen.
+	XDrop int
+}
+
+// DefaultBlastOptions returns the classic nucleotide settings.
+func DefaultBlastOptions() BlastOptions {
+	return BlastOptions{W: 11, XDrop: 20}
+}
+
+// BlastScan runs a BLAST1-style scan over every sequence: exact W-mer
+// word hits seed ungapped x-drop extensions, and the sequence's score
+// is its best high-scoring segment pair. Like FASTA it is heuristic —
+// it can miss alignments with no exact W-mer seed — but it is much
+// faster than full dynamic programming.
+func BlastScan(src Source, query []byte, s align.Scoring, opts BlastOptions, minScore, limit int) []Result {
+	if opts.W < 1 || opts.W > kmer.MaxK {
+		opts.W = DefaultBlastOptions().W
+	}
+	if opts.XDrop < 1 {
+		opts.XDrop = DefaultBlastOptions().XDrop
+	}
+	coder := kmer.MustCoder(opts.W)
+	table := newHitTable(coder, query)
+
+	var rs []Result
+	// seen dedupes extensions per (diagonal): once an extension from a
+	// diagonal has covered a subject position, later seeds on the same
+	// diagonal inside that span are skipped, the standard BLAST trick.
+	seen := make(map[int]int) // diagonal → subject end of last extension
+	for id := 0; id < src.Len(); id++ {
+		seq := src.Sequence(id)
+		if len(seq) < opts.W {
+			continue
+		}
+		clear(seen)
+		best := 0
+		coder.ExtractFunc(seq, func(sPos int, t kmer.Term) {
+			qPositions := table.lookup(t)
+			if len(qPositions) == 0 {
+				return
+			}
+			for _, qPos := range qPositions {
+				diag := sPos - qPos
+				if end, ok := seen[diag]; ok && sPos < end {
+					continue
+				}
+				score, _, _, _, bEnd := align.ExtendUngapped(query, seq, qPos, sPos, opts.W, s, opts.XDrop)
+				seen[diag] = bEnd
+				if score > best {
+					best = score
+				}
+			}
+		})
+		if best >= minScore && best > 0 {
+			rs = append(rs, Result{ID: id, Score: best})
+		}
+	}
+	return sortResults(rs, limit)
+}

@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"nucleodb/internal/align"
+	"nucleodb/internal/kmer"
+)
+
+// FastaOptions configures the FASTA-style scanner.
+type FastaOptions struct {
+	// KTup is the word length for the hit table (FASTA's ktup);
+	// nucleotide searches conventionally use 4–6.
+	KTup int
+	// Band is the half-width of the banded alignment run around the
+	// best diagonal of each sequence.
+	Band int
+	// Diagonals is how many top diagonal regions are re-scored with a
+	// banded alignment per sequence.
+	Diagonals int
+}
+
+// DefaultFastaOptions returns the conventional nucleotide settings.
+func DefaultFastaOptions() FastaOptions {
+	return FastaOptions{KTup: 6, Band: 16, Diagonals: 3}
+}
+
+// FastaScan runs the FASTA-style heuristic over every sequence: ktup
+// word hits are binned by diagonal (init1-style diagonal scores), the
+// best few diagonals are re-scored with a banded Smith–Waterman, and
+// the sequence's score is the best banded score. It is faster than the
+// full scan but still visits the whole collection.
+func FastaScan(src Source, query []byte, s align.Scoring, opts FastaOptions, minScore, limit int) []Result {
+	if opts.KTup < 1 {
+		opts.KTup = DefaultFastaOptions().KTup
+	}
+	if opts.Band < 1 {
+		opts.Band = DefaultFastaOptions().Band
+	}
+	if opts.Diagonals < 1 {
+		opts.Diagonals = DefaultFastaOptions().Diagonals
+	}
+	coder := kmer.MustCoder(opts.KTup)
+	table := newHitTable(coder, query)
+
+	var rs []Result
+	var diagScores map[int]int
+	for id := 0; id < src.Len(); id++ {
+		seq := src.Sequence(id)
+		if len(seq) < opts.KTup {
+			continue
+		}
+		// Diagonal accumulation: every shared ktup word adds to the
+		// score of its diagonal (subject offset − query offset).
+		if diagScores == nil {
+			diagScores = make(map[int]int)
+		} else {
+			clear(diagScores)
+		}
+		coder.ExtractFunc(seq, func(sPos int, t kmer.Term) {
+			for _, qPos := range table.lookup(t) {
+				diagScores[sPos-qPos]++
+			}
+		})
+		if len(diagScores) == 0 {
+			continue
+		}
+		best := 0
+		for _, centre := range topDiagonals(diagScores, opts.Diagonals) {
+			score, _, _ := align.BandedLocalScore(query, seq, centre, opts.Band, s)
+			if score > best {
+				best = score
+			}
+		}
+		if best >= minScore && best > 0 {
+			rs = append(rs, Result{ID: id, Score: best})
+		}
+	}
+	return sortResults(rs, limit)
+}
+
+// hitTable maps each ktup word of the query to its query offsets.
+type hitTable struct {
+	coder *kmer.Coder
+	pos   map[kmer.Term][]int
+}
+
+func newHitTable(coder *kmer.Coder, query []byte) *hitTable {
+	t := &hitTable{coder: coder, pos: make(map[kmer.Term][]int)}
+	coder.ExtractFunc(query, func(pos int, term kmer.Term) {
+		t.pos[term] = append(t.pos[term], pos)
+	})
+	return t
+}
+
+func (t *hitTable) lookup(term kmer.Term) []int { return t.pos[term] }
+
+// topDiagonals returns the n diagonals with the highest hit counts.
+func topDiagonals(scores map[int]int, n int) []int {
+	type ds struct{ diag, score int }
+	all := make([]ds, 0, len(scores))
+	for d, s := range scores {
+		all = append(all, ds{d, s})
+	}
+	// Partial selection: n is tiny, so a simple selection pass is
+	// cheaper than sorting the whole map.
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]int, 0, n)
+	for k := 0; k < n; k++ {
+		bi := -1
+		for i := range all {
+			if all[i].score < 0 {
+				continue
+			}
+			if bi < 0 || all[i].score > all[bi].score ||
+				all[i].score == all[bi].score && all[i].diag < all[bi].diag {
+				bi = i
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		out = append(out, all[bi].diag)
+		all[bi].score = -1
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitWriterReaderBits(t *testing.T) {
+	w := NewBitWriter(16)
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0, 5)
+	w.WriteBits(0xDEADBEEF, 32)
+	buf := w.Bytes()
+
+	r := NewBitReader(buf)
+	if v, err := r.ReadBits(3); err != nil || v != 0b101 {
+		t.Fatalf("ReadBits(3) = %b, %v", v, err)
+	}
+	if v, err := r.ReadBits(8); err != nil || v != 0xFF {
+		t.Fatalf("ReadBits(8) = %x, %v", v, err)
+	}
+	if v, err := r.ReadBits(5); err != nil || v != 0 {
+		t.Fatalf("ReadBits(5) = %x, %v", v, err)
+	}
+	if v, err := r.ReadBits(32); err != nil || v != 0xDEADBEEF {
+		t.Fatalf("ReadBits(32) = %x, %v", v, err)
+	}
+}
+
+func TestBitWriter64BitValues(t *testing.T) {
+	w := NewBitWriter(32)
+	vals := []uint64{0, 1, ^uint64(0), 1 << 63, 0x0123456789ABCDEF}
+	for _, v := range vals {
+		w.WriteBits(v, 64)
+	}
+	r := NewBitReader(w.Bytes())
+	for _, want := range vals {
+		v, err := r.ReadBits(64)
+		if err != nil || v != want {
+			t.Fatalf("ReadBits(64) = %x, %v; want %x", v, err, want)
+		}
+	}
+}
+
+func TestUnaryRoundTrip(t *testing.T) {
+	w := NewBitWriter(64)
+	vals := []uint64{1, 2, 3, 7, 64, 65, 100, 129, 300}
+	for _, v := range vals {
+		w.WriteUnary(v)
+	}
+	r := NewBitReader(w.Bytes())
+	for _, want := range vals {
+		v, err := r.ReadUnary()
+		if err != nil || v != want {
+			t.Fatalf("ReadUnary = %d, %v; want %d", v, err, want)
+		}
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewBitReader([]byte{0xAB})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBits(1); err == nil {
+		t.Error("read past end succeeded")
+	}
+}
+
+func TestReadUnaryUnterminated(t *testing.T) {
+	// All ones: unary never terminates.
+	r := NewBitReader([]byte{0xFF, 0xFF})
+	if _, err := r.ReadUnary(); err == nil {
+		t.Error("unterminated unary read succeeded")
+	}
+}
+
+func TestBitLenAndLen(t *testing.T) {
+	w := NewBitWriter(8)
+	if w.BitLen() != 0 || w.Len() != 0 {
+		t.Fatalf("empty writer BitLen=%d Len=%d", w.BitLen(), w.Len())
+	}
+	w.WriteBits(1, 3)
+	if w.BitLen() != 3 || w.Len() != 1 {
+		t.Fatalf("after 3 bits BitLen=%d Len=%d", w.BitLen(), w.Len())
+	}
+	w.WriteBits(0, 13)
+	if w.BitLen() != 16 || w.Len() != 2 {
+		t.Fatalf("after 16 bits BitLen=%d Len=%d", w.BitLen(), w.Len())
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewBitWriter(8)
+	w.WriteBits(0xFF, 8)
+	w.Reset()
+	w.WriteBits(1, 1)
+	buf := w.Bytes()
+	if len(buf) != 1 || buf[0] != 0x80 {
+		t.Errorf("after reset Bytes = %x", buf)
+	}
+}
+
+func TestPropertyBitsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		n := 1 + local.Intn(200)
+		widths := make([]uint, n)
+		vals := make([]uint64, n)
+		w := NewBitWriter(n)
+		for i := 0; i < n; i++ {
+			widths[i] = uint(1 + local.Intn(64))
+			vals[i] = local.Uint64() & mask(widths[i])
+			w.WriteBits(vals[i], widths[i])
+		}
+		r := NewBitReader(w.Bytes())
+		for i := 0; i < n; i++ {
+			v, err := r.ReadBits(widths[i])
+			if err != nil || v != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMixedUnaryBits(t *testing.T) {
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		n := 1 + local.Intn(100)
+		type op struct {
+			unary bool
+			v     uint64
+			w     uint
+		}
+		ops := make([]op, n)
+		w := NewBitWriter(n)
+		for i := range ops {
+			if local.Intn(2) == 0 {
+				ops[i] = op{unary: true, v: 1 + uint64(local.Intn(200))}
+				w.WriteUnary(ops[i].v)
+			} else {
+				width := uint(1 + local.Intn(40))
+				ops[i] = op{v: local.Uint64() & mask(width), w: width}
+				w.WriteBits(ops[i].v, width)
+			}
+		}
+		r := NewBitReader(w.Bytes())
+		for _, o := range ops {
+			var v uint64
+			var err error
+			if o.unary {
+				v, err = r.ReadUnary()
+			} else {
+				v, err = r.ReadBits(o.w)
+			}
+			if err != nil || v != o.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

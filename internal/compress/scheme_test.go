@@ -1,0 +1,166 @@
+package compress
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestVByteRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 127, 128, 129, 16383, 16384, 1 << 32, ^uint64(0)}
+	var buf []byte
+	for _, v := range vals {
+		buf = PutVByte(buf, v)
+	}
+	pos := 0
+	for _, want := range vals {
+		v, n, err := GetVByte(buf[pos:])
+		if err != nil || v != want {
+			t.Fatalf("GetVByte = %d, %v; want %d", v, err, want)
+		}
+		if n != VByteLen(want) {
+			t.Fatalf("consumed %d bytes for %d, VByteLen says %d", n, want, VByteLen(want))
+		}
+		pos += n
+	}
+	if pos != len(buf) {
+		t.Errorf("consumed %d of %d bytes", pos, len(buf))
+	}
+}
+
+func TestVByteErrors(t *testing.T) {
+	if _, _, err := GetVByte(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, _, err := GetVByte([]byte{0x01, 0x02}); err == nil {
+		t.Error("unterminated code accepted")
+	}
+	long := make([]byte, 12) // all continuation bytes
+	if _, _, err := GetVByte(long); err == nil {
+		t.Error("overlong code accepted")
+	}
+}
+
+func TestEncodeStreamAllSchemes(t *testing.T) {
+	vals := []uint64{1, 5, 2, 100, 1, 1, 37, 1 << 30}
+	for _, s := range Schemes {
+		buf, err := EncodeStream(s, vals)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		got, err := DecodeStream(s, buf, len(vals))
+		if err != nil {
+			t.Fatalf("%v decode: %v", s, err)
+		}
+		if !reflect.DeepEqual(got, vals) {
+			t.Errorf("%v round trip = %v, want %v", s, got, vals)
+		}
+	}
+}
+
+func TestEncodeStreamRejectsZero(t *testing.T) {
+	for _, s := range Schemes {
+		if _, err := EncodeStream(s, []uint64{1, 0, 2}); err == nil {
+			t.Errorf("%v accepted a zero value", s)
+		}
+	}
+}
+
+func TestEncodeStreamEmpty(t *testing.T) {
+	for _, s := range Schemes {
+		buf, err := EncodeStream(s, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		got, err := DecodeStream(s, buf, 0)
+		if err != nil || len(got) != 0 {
+			t.Errorf("%v empty stream decode = %v, %v", s, got, err)
+		}
+	}
+}
+
+func TestSchemeSizeOrdering(t *testing.T) {
+	// Gap streams typical of posting lists: compressed schemes must
+	// beat fixed words, and Golomb must be at worst comparable to gamma.
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]uint64, 5000)
+	for i := range vals {
+		vals[i] = 1 + uint64(rng.ExpFloat64()*20)
+	}
+	size := map[Scheme]int{}
+	for _, s := range Schemes {
+		buf, err := EncodeStream(s, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size[s] = len(buf)
+	}
+	if size[SchemeVByte] >= size[SchemeNone] {
+		t.Errorf("vbyte %d ≥ none %d", size[SchemeVByte], size[SchemeNone])
+	}
+	if size[SchemeGamma] >= size[SchemeVByte] {
+		t.Errorf("gamma %d ≥ vbyte %d", size[SchemeGamma], size[SchemeVByte])
+	}
+	if size[SchemeGolomb] > size[SchemeGamma] {
+		t.Errorf("golomb %d > gamma %d on exponential gaps", size[SchemeGolomb], size[SchemeGamma])
+	}
+}
+
+func TestDecodeStreamCorrupt(t *testing.T) {
+	vals := []uint64{9, 9, 9, 9}
+	for _, s := range Schemes {
+		buf, err := EncodeStream(s, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ask for more values than were encoded: every scheme must
+		// error rather than fabricate data (bit schemes may read
+		// zero-padding, so only truncation below is universal).
+		if len(buf) > 2 {
+			if _, err := DecodeStream(s, buf[:1], len(vals)); err == nil {
+				t.Errorf("%v decoded from truncated buffer", s)
+			}
+		}
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	names := map[Scheme]string{
+		SchemeNone: "none", SchemeVByte: "vbyte", SchemeGamma: "gamma",
+		SchemeDelta: "delta", SchemeGolomb: "golomb", SchemeRice: "rice",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if Scheme(99).String() != "Scheme(99)" {
+		t.Errorf("unknown scheme string = %q", Scheme(99).String())
+	}
+}
+
+func TestPropertyStreamRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		n := local.Intn(200)
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = 1 + local.Uint64()%(1<<uint(1+local.Intn(30)))
+		}
+		for _, s := range Schemes {
+			buf, err := EncodeStream(s, vals)
+			if err != nil {
+				return false
+			}
+			got, err := DecodeStream(s, buf, n)
+			if err != nil || !reflect.DeepEqual(got, vals) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,612 @@
+// Package core implements the paper's contribution: partitioned search
+// over a nucleotide collection. A coarse phase ranks sequences by
+// interval similarity to the query using only the inverted index; a
+// fine phase runs local alignment on the top-ranked candidates only.
+// The result is the accuracy of local alignment at a fraction of the
+// exhaustive cost, because the expensive dynamic programming touches a
+// bounded number of sequences regardless of collection size.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"nucleodb/internal/align"
+	"nucleodb/internal/dna"
+	"nucleodb/internal/index"
+	"nucleodb/internal/kmer"
+	"nucleodb/internal/postings"
+)
+
+// Source supplies candidate sequences to the fine phase. *db.Store
+// satisfies it.
+type Source interface {
+	Len() int
+	Sequence(i int) []byte
+}
+
+// CoarseMode selects how the coarse phase scores a sequence from the
+// posting lists of the query's intervals. The modes are the ablation
+// axis of experiment E8.
+type CoarseMode int
+
+const (
+	// CoarseDistinct counts the distinct query intervals present in
+	// the sequence — the paper's basic ranking.
+	CoarseDistinct CoarseMode = iota
+	// CoarseTotal sums total occurrences of query intervals, which
+	// favours long and repetitive sequences.
+	CoarseTotal
+	// CoarseNormalised divides the distinct count by log₂ of the
+	// sequence length, damping the long-sequence bias.
+	CoarseNormalised
+	// CoarseDiagonal clusters interval hits by alignment diagonal and
+	// scores the densest diagonal band (a FRAMES-style measure). It
+	// requires an index built with offsets.
+	CoarseDiagonal
+)
+
+// String returns the mode's table label.
+func (m CoarseMode) String() string {
+	switch m {
+	case CoarseDistinct:
+		return "distinct"
+	case CoarseTotal:
+		return "total"
+	case CoarseNormalised:
+		return "normalised"
+	case CoarseDiagonal:
+		return "diagonal"
+	}
+	return fmt.Sprintf("CoarseMode(%d)", int(m))
+}
+
+// FineMode selects the fine-phase aligner.
+type FineMode int
+
+const (
+	// FineFull runs unrestricted Smith–Waterman on each candidate:
+	// exact scores, highest cost.
+	FineFull FineMode = iota
+	// FineBanded runs a banded Smith–Waterman around each candidate's
+	// best hit diagonal: near-exact at a fraction of the cost.
+	FineBanded
+)
+
+// String returns the mode's table label.
+func (m FineMode) String() string {
+	switch m {
+	case FineFull:
+		return "full"
+	case FineBanded:
+		return "banded"
+	}
+	return fmt.Sprintf("FineMode(%d)", int(m))
+}
+
+// Options configures one search.
+type Options struct {
+	// Candidates is the coarse-phase budget: at most this many
+	// top-ranked sequences proceed to fine alignment.
+	Candidates int
+	// MinCoarseHits discards sequences sharing fewer than this many
+	// distinct intervals with the query before ranking.
+	MinCoarseHits int
+	// CoarseMode selects the coarse ranking function.
+	CoarseMode CoarseMode
+	// FineMode selects the fine aligner.
+	FineMode FineMode
+	// Band is the half-width for FineBanded.
+	Band int
+	// MinScore discards fine alignments below this score.
+	MinScore int
+	// Limit truncates the result list; 0 means no truncation.
+	Limit int
+	// BothStrands also searches the reverse complement of the query
+	// and reports each sequence's best strand, as nucleotide search
+	// tools conventionally do.
+	BothStrands bool
+	// Prescreen, when positive, inserts a middle phase between coarse
+	// ranking and fine alignment: an ungapped x-drop extension from
+	// the candidate's best shared interval. Candidates whose extension
+	// scores below Prescreen are dropped before the (far more
+	// expensive) fine alignment — the three-phase structure of the
+	// production CAFE design.
+	Prescreen int
+	// FineWorkers aligns candidates concurrently in the fine phase,
+	// reducing single-query latency on multicore machines. 0 or 1 is
+	// serial. Results are identical at any setting.
+	FineWorkers int
+}
+
+// DefaultOptions returns the configuration of the headline experiments.
+func DefaultOptions() Options {
+	return Options{
+		Candidates:    100,
+		MinCoarseHits: 2,
+		CoarseMode:    CoarseDistinct,
+		FineMode:      FineBanded,
+		Band:          24,
+		MinScore:      1,
+		Limit:         20,
+	}
+}
+
+func (o Options) validate() error {
+	if o.Candidates < 1 {
+		return fmt.Errorf("core: candidate budget %d must be positive", o.Candidates)
+	}
+	if o.MinCoarseHits < 1 {
+		return fmt.Errorf("core: MinCoarseHits %d must be positive", o.MinCoarseHits)
+	}
+	if o.CoarseMode < CoarseDistinct || o.CoarseMode > CoarseDiagonal {
+		return fmt.Errorf("core: unknown coarse mode %d", o.CoarseMode)
+	}
+	if o.FineMode < FineFull || o.FineMode > FineBanded {
+		return fmt.Errorf("core: unknown fine mode %d", o.FineMode)
+	}
+	if o.FineMode == FineBanded && o.Band < 1 {
+		return fmt.Errorf("core: banded fine phase needs Band ≥ 1, got %d", o.Band)
+	}
+	if o.MinScore < 0 || o.Limit < 0 {
+		return fmt.Errorf("core: negative MinScore or Limit")
+	}
+	if o.Prescreen < 0 {
+		return fmt.Errorf("core: negative Prescreen %d", o.Prescreen)
+	}
+	if o.FineWorkers < 0 {
+		return fmt.Errorf("core: negative FineWorkers %d", o.FineWorkers)
+	}
+	return nil
+}
+
+// Result is one search answer.
+type Result struct {
+	// ID is the sequence identifier in the store.
+	ID int
+	// Score is the fine-phase local alignment score.
+	Score int
+	// Coarse is the coarse-phase score that admitted the candidate.
+	Coarse float64
+	// Reverse is true when the match is against the reverse complement
+	// of the query (BothStrands searches only). Alignment spans then
+	// refer to the reverse-complemented query.
+	Reverse bool
+	// Alignment carries spans and the transcript when the fine phase
+	// produced one (FineFull on in-budget sizes).
+	Alignment align.Alignment
+
+	// Banded-traceback deferral: candidates are ranked with the cheap
+	// score-only banded pass and only reported results get transcripts.
+	bandCentre     int
+	needsTraceback bool
+}
+
+// Searcher evaluates partitioned queries against an index and its
+// sequence store. It is safe for concurrent use only if each goroutine
+// uses its own Searcher (scratch state is reused between queries).
+type Searcher struct {
+	idx     *index.Index
+	src     Source
+	scoring align.Scoring
+
+	// Scratch reused across queries.
+	acc     accumulators
+	it      postings.Iterator
+	termSet map[kmer.Term][]int
+}
+
+// NewSearcher returns a searcher over idx and src. src must be the
+// store the index was built from; the searcher checks the sequence
+// counts agree.
+func NewSearcher(idx *index.Index, src Source, scoring align.Scoring) (*Searcher, error) {
+	if err := scoring.Validate(); err != nil {
+		return nil, err
+	}
+	if idx.NumSeqs() != src.Len() {
+		return nil, fmt.Errorf("core: index has %d sequences, store has %d", idx.NumSeqs(), src.Len())
+	}
+	return &Searcher{
+		idx:     idx,
+		src:     src,
+		scoring: scoring,
+		acc:     newAccumulators(idx.NumSeqs()),
+		termSet: make(map[kmer.Term][]int),
+	}, nil
+}
+
+// Index returns the searcher's index.
+func (s *Searcher) Index() *index.Index { return s.idx }
+
+// Scoring returns the alignment parameters in use.
+func (s *Searcher) Scoring() align.Scoring { return s.scoring }
+
+// Candidate is a coarse-phase ranking entry.
+type Candidate struct {
+	ID     int
+	Score  float64 // coarse score under the selected mode
+	Hits   int     // distinct query intervals present
+	Diag   int     // densest diagonal (CoarseDiagonal only)
+	HasOff bool    // whether Diag is meaningful
+}
+
+// Search runs the full partitioned evaluation: coarse ranking, then
+// fine local alignment of the top candidates. With BothStrands set the
+// reverse complement of the query is evaluated too and each sequence
+// reports its best strand.
+func (s *Searcher) Search(query []byte, opts Options) ([]Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	forward, err := s.searchStrand(query, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.BothStrands {
+		return s.finishTracebacks(query, nil, s.finish(forward, opts), opts), nil
+	}
+	rc := dna.ReverseComplement(query)
+	reverse, err := s.searchStrand(rc, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i := range reverse {
+		reverse[i].Reverse = true
+	}
+	// Merge: keep each sequence's best strand.
+	best := make(map[int]Result, len(forward)+len(reverse))
+	for _, r := range append(forward, reverse...) {
+		if cur, ok := best[r.ID]; !ok || r.Score > cur.Score {
+			best[r.ID] = r
+		}
+	}
+	merged := make([]Result, 0, len(best))
+	for _, r := range best {
+		merged = append(merged, r)
+	}
+	return s.finishTracebacks(query, rc, s.finish(merged, opts), opts), nil
+}
+
+// finishTracebacks replaces the score-only banded results that made
+// the final list with full traceback alignments. Only the reported
+// results — at most Limit — pay for a direction matrix, so transcript
+// output costs nothing measurable per query.
+func (s *Searcher) finishTracebacks(query, rcQuery []byte, results []Result, opts Options) []Result {
+	for i := range results {
+		r := &results[i]
+		if !r.needsTraceback {
+			continue
+		}
+		q := query
+		if r.Reverse {
+			q = rcQuery
+		}
+		al := align.BandedLocal(q, s.src.Sequence(r.ID), r.bandCentre, opts.Band, s.scoring)
+		if al.Score == r.Score {
+			r.Alignment = al
+		}
+		r.needsTraceback = false
+	}
+	return results
+}
+
+// finish orders results best-first and applies the limit.
+func (s *Searcher) finish(results []Result, opts Options) []Result {
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].ID < results[j].ID
+	})
+	if opts.Limit > 0 && len(results) > opts.Limit {
+		results = results[:opts.Limit]
+	}
+	return results
+}
+
+// searchStrand evaluates one orientation of the query. Results are
+// unordered; finish ranks them.
+func (s *Searcher) searchStrand(query []byte, opts Options) ([]Result, error) {
+	cands, err := s.Coarse(query, opts.CoarseMode, opts.MinCoarseHits)
+	if err != nil {
+		return nil, err
+	}
+	if len(cands) > opts.Candidates {
+		cands = cands[:opts.Candidates]
+	}
+	// fine evaluates one candidate; it reads only immutable searcher
+	// state (termSet is not mutated during the fine phase), so it is
+	// safe to run concurrently.
+	fine := func(c Candidate) (Result, bool) {
+		seq := s.src.Sequence(c.ID)
+		var r Result
+		r.ID = c.ID
+		r.Coarse = c.Score
+
+		var seed seedHit
+		haveSeed := false
+		if opts.Prescreen > 0 || opts.FineMode == FineBanded && !c.HasOff {
+			seed, haveSeed = s.bestSeed(query, seq)
+		}
+		if opts.Prescreen > 0 {
+			if !haveSeed {
+				return r, false
+			}
+			score, _, _, _, _ := align.ExtendUngapped(
+				query, seq, seed.qPos, seed.sPos, s.idx.K(), s.scoring, prescreenXDrop)
+			if score < opts.Prescreen {
+				return r, false
+			}
+		}
+		switch opts.FineMode {
+		case FineFull:
+			r.Alignment = align.Local(query, seq, s.scoring)
+			r.Score = r.Alignment.Score
+		case FineBanded:
+			centre := 0
+			switch {
+			case c.HasOff:
+				centre = c.Diag
+			case haveSeed:
+				centre = seed.diag
+			}
+			// Ranking needs only the score; the traceback matrix is
+			// deferred to the results that survive MinScore and Limit
+			// (see finishTracebacks).
+			score, aEnd, bEnd := align.BandedLocalScore(query, seq, centre, opts.Band, s.scoring)
+			r.Score = score
+			r.Alignment = align.Alignment{Score: score, AStart: aEnd, AEnd: aEnd, BStart: bEnd, BEnd: bEnd}
+			r.bandCentre = centre
+			r.needsTraceback = score > 0
+		}
+		return r, r.Score >= opts.MinScore
+	}
+
+	results := make([]Result, 0, len(cands))
+	if opts.FineWorkers <= 1 || len(cands) < 2 {
+		for _, c := range cands {
+			if r, ok := fine(c); ok {
+				results = append(results, r)
+			}
+		}
+		return results, nil
+	}
+
+	// Parallel fine phase: candidates are distributed across workers
+	// and collected in candidate order, so output is identical to the
+	// serial path.
+	type slot struct {
+		r  Result
+		ok bool
+	}
+	slots := make([]slot, len(cands))
+	workers := opts.FineWorkers
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	var wg sync.WaitGroup
+	next := int64(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(cands) {
+					return
+				}
+				r, ok := fine(cands[i])
+				slots[i] = slot{r, ok}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, sl := range slots {
+		if sl.ok {
+			results = append(results, sl.r)
+		}
+	}
+	return results, nil
+}
+
+// prescreenXDrop is the x-drop for the middle-phase ungapped
+// extension; generous enough to climb through scattered mismatches.
+const prescreenXDrop = 30
+
+// Coarse runs only the coarse phase, returning every sequence with at
+// least minHits distinct query intervals, ranked best-first under mode.
+// Exposed for the recall experiments, which sweep the candidate budget
+// over a single coarse ranking.
+func (s *Searcher) Coarse(query []byte, mode CoarseMode, minHits int) ([]Candidate, error) {
+	if minHits < 1 {
+		minHits = 1
+	}
+	if mode == CoarseDiagonal && !s.idx.Options().StoreOffsets {
+		return nil, fmt.Errorf("core: diagonal coarse mode needs an index built with offsets")
+	}
+	coder := s.idx.Coder()
+	if len(query) < coder.Span() {
+		return nil, fmt.Errorf("core: query length %d shorter than interval span %d", len(query), coder.Span())
+	}
+
+	// Collect the query's distinct terms with their offsets.
+	clear(s.termSet)
+	coder.ExtractFunc(query, func(pos int, t kmer.Term) {
+		s.termSet[t] = append(s.termSet[t], pos)
+	})
+
+	s.acc.reset()
+	diag := newDiagAcc(mode == CoarseDiagonal)
+	for t, qPositions := range s.termSet {
+		df := s.idx.Reader(t, &s.it)
+		if df == 0 {
+			continue
+		}
+		for s.it.Next() {
+			e := s.it.Entry()
+			s.acc.bump(int(e.ID), 1, int(e.Count))
+			if diag != nil {
+				for _, qp := range qPositions {
+					for _, off := range e.Offsets {
+						diag.add(e.ID, int(off)-qp)
+					}
+				}
+			}
+		}
+		if err := s.it.Err(); err != nil {
+			return nil, fmt.Errorf("core: term %d postings: %w", t, err)
+		}
+	}
+
+	var diagBest map[uint32]diagResult
+	if diag != nil {
+		diagBest = diag.finalize()
+	}
+	cands := make([]Candidate, 0, len(s.acc.touched))
+	for _, id := range s.acc.touched {
+		hits := int(s.acc.distinct[id])
+		if hits < minHits {
+			continue
+		}
+		c := Candidate{ID: id, Hits: hits}
+		switch mode {
+		case CoarseDistinct:
+			c.Score = float64(hits)
+		case CoarseTotal:
+			c.Score = float64(s.acc.total[id])
+		case CoarseNormalised:
+			c.Score = float64(hits) / math.Log2(float64(s.idx.SeqLen(id))+16)
+		case CoarseDiagonal:
+			r := diagBest[uint32(id)]
+			c.Score = float64(r.score)
+			c.Diag = r.diag
+			c.HasOff = true
+		}
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].ID < cands[j].ID
+	})
+	return cands, nil
+}
+
+// seedHit is one shared interval on a candidate's strongest diagonal.
+type seedHit struct {
+	diag, qPos, sPos int
+}
+
+// bestSeed finds the strongest alignment diagonal of query against seq
+// by binning shared intervals, and returns a shared interval on it —
+// the anchor for banded centring and for the prescreen extension. It
+// reports false when the sequences share no interval (possible when a
+// stopped term admitted the candidate via another strand or mode).
+func (s *Searcher) bestSeed(query, seq []byte) (seedHit, bool) {
+	coder := s.idx.Coder()
+	counts := map[int]int{}
+	firstHit := map[int][2]int{}
+	coder.ExtractFunc(seq, func(sPos int, t kmer.Term) {
+		for _, qp := range s.termSet[t] {
+			d := sPos - qp
+			counts[d]++
+			if _, ok := firstHit[d]; !ok {
+				firstHit[d] = [2]int{qp, sPos}
+			}
+		}
+	})
+	best, bestDiag, found := 0, 0, false
+	for d, n := range counts {
+		if n > best || n == best && found && d < bestDiag {
+			best, bestDiag, found = n, d, true
+		}
+	}
+	if !found {
+		return seedHit{}, false
+	}
+	hit := firstHit[bestDiag]
+	return seedHit{diag: bestDiag, qPos: hit[0], sPos: hit[1]}, true
+}
+
+// accumulators is the coarse-phase scratch: per-sequence distinct-term
+// and total-occurrence counters with O(touched) reset.
+type accumulators struct {
+	distinct []int32
+	total    []int32
+	touched  []int
+}
+
+func newAccumulators(n int) accumulators {
+	return accumulators{
+		distinct: make([]int32, n),
+		total:    make([]int32, n),
+	}
+}
+
+func (a *accumulators) bump(id, distinct, total int) {
+	if a.distinct[id] == 0 && a.total[id] == 0 {
+		a.touched = append(a.touched, id)
+	}
+	a.distinct[id] += int32(distinct)
+	a.total[id] += int32(total)
+}
+
+func (a *accumulators) reset() {
+	for _, id := range a.touched {
+		a.distinct[id] = 0
+		a.total[id] = 0
+	}
+	a.touched = a.touched[:0]
+}
+
+// diagAcc clusters hits into diagonal bands of width diagBand per
+// sequence, for the FRAMES-style coarse mode.
+const diagBand = 16
+
+type diagAcc struct {
+	counts map[uint64]int32
+}
+
+func newDiagAcc(enabled bool) *diagAcc {
+	if !enabled {
+		return nil
+	}
+	return &diagAcc{counts: make(map[uint64]int32)}
+}
+
+func (d *diagAcc) add(id uint32, diag int) {
+	// Bias the diagonal so the bucket key is non-negative.
+	b := uint64(uint32((diag + (1 << 30)) / diagBand))
+	d.counts[uint64(id)<<32|b]++
+}
+
+// diagResult is the densest diagonal band of one sequence.
+type diagResult struct {
+	score int32
+	diag  int
+}
+
+// finalize computes, for every sequence seen, the largest
+// two-adjacent-bucket mass and the centre diagonal of the winning band,
+// in one pass over the accumulated counts.
+func (d *diagAcc) finalize() map[uint32]diagResult {
+	out := make(map[uint32]diagResult)
+	for key, n := range d.counts {
+		id := uint32(key >> 32)
+		b := key & 0xFFFFFFFF
+		m := n
+		if nb, ok := d.counts[key&^uint64(0xFFFFFFFF)|(b+1)]; ok {
+			m += nb
+		}
+		centre := int(b)*diagBand + diagBand - (1 << 30)
+		cur, ok := out[id]
+		if !ok || m > cur.score || m == cur.score && centre < cur.diag {
+			out[id] = diagResult{score: m, diag: centre}
+		}
+	}
+	return out
+}

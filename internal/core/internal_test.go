@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestAccumulators(t *testing.T) {
+	acc := newAccumulators(10)
+	acc.bump(3, 1, 5)
+	acc.bump(3, 1, 2)
+	acc.bump(7, 1, 1)
+	if acc.distinct[3] != 2 || acc.total[3] != 7 {
+		t.Errorf("seq 3 counters = %d/%d", acc.distinct[3], acc.total[3])
+	}
+	if len(acc.touched) != 2 {
+		t.Errorf("touched = %v", acc.touched)
+	}
+	acc.reset()
+	if acc.distinct[3] != 0 || acc.total[3] != 0 || acc.distinct[7] != 0 {
+		t.Error("reset left residue")
+	}
+	if len(acc.touched) != 0 {
+		t.Error("touched not cleared")
+	}
+	// Reuse after reset.
+	acc.bump(3, 1, 1)
+	if acc.distinct[3] != 1 || len(acc.touched) != 1 {
+		t.Error("reuse after reset broken")
+	}
+}
+
+func TestDiagAccBands(t *testing.T) {
+	d := newDiagAcc(true)
+	// Sequence 5: a dense band around diagonal 100 (bucket boundary
+	// spanning), sequence 9: one lone hit.
+	for _, diag := range []int{96, 100, 104, 108, 112} {
+		d.add(5, diag)
+	}
+	d.add(9, -50)
+	best := d.finalize()
+	r5 := best[5]
+	if r5.score != 5 {
+		t.Errorf("seq 5 band score = %d, want 5", r5.score)
+	}
+	// The winning band must sit near diagonal 100.
+	if r5.diag < 80 || r5.diag > 140 {
+		t.Errorf("seq 5 band centre = %d, want near 100", r5.diag)
+	}
+	r9 := best[9]
+	if r9.score != 1 {
+		t.Errorf("seq 9 band score = %d, want 1", r9.score)
+	}
+	if r9.diag > 0 || r9.diag < -100 {
+		t.Errorf("seq 9 band centre = %d, want near -50", r9.diag)
+	}
+}
+
+func TestDiagAccNegativeDiagonals(t *testing.T) {
+	d := newDiagAcc(true)
+	for i := 0; i < 4; i++ {
+		d.add(1, -1000-i)
+	}
+	best := d.finalize()
+	if best[1].score != 4 {
+		t.Errorf("negative-diagonal band score = %d, want 4", best[1].score)
+	}
+	if got := best[1].diag; got > -960 || got < -1040 {
+		t.Errorf("band centre = %d, want near -1000", got)
+	}
+}
+
+func TestDiagAccDisabled(t *testing.T) {
+	if d := newDiagAcc(false); d != nil {
+		t.Error("disabled diagAcc not nil")
+	}
+}

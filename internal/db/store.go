@@ -1,0 +1,193 @@
+// Package db implements the sequence store: the record component of the
+// database that holds every sequence and its description, compressed
+// with direct coding so that any record can be decoded independently of
+// the order in which records were stored — the property the fine search
+// phase relies on when it retrieves only the candidate sequences.
+package db
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"nucleodb/internal/dna"
+)
+
+// Store is an append-only collection of sequence records. Records are
+// identified by dense integer ids in insertion order. The zero value is
+// an empty store ready to use.
+type Store struct {
+	descs   []string
+	offsets []int // byte offset of each record's direct coding in blob
+	lengths []int // sequence length in bases
+	blob    []byte
+	total   int // total bases
+	coder   dna.DirectCoder
+}
+
+// Add appends a record and returns its id.
+func (s *Store) Add(desc string, codes []byte) int {
+	id := len(s.descs)
+	s.descs = append(s.descs, desc)
+	s.offsets = append(s.offsets, len(s.blob))
+	s.lengths = append(s.lengths, len(codes))
+	s.blob = s.coder.Encode(s.blob, codes)
+	s.total += len(codes)
+	return id
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int { return len(s.descs) }
+
+// TotalBases returns the total number of bases stored.
+func (s *Store) TotalBases() int { return s.total }
+
+// EncodedBytes returns the size of the compressed sequence data,
+// excluding the description table.
+func (s *Store) EncodedBytes() int { return len(s.blob) }
+
+// Desc returns the description of record id.
+func (s *Store) Desc(id int) string {
+	s.check(id)
+	return s.descs[id]
+}
+
+// SeqLen returns the sequence length of record id without decoding it.
+func (s *Store) SeqLen(id int) int {
+	s.check(id)
+	return s.lengths[id]
+}
+
+// Sequence decodes and returns the sequence of record id in code form.
+func (s *Store) Sequence(id int) []byte {
+	s.check(id)
+	codes, _, err := s.coder.Decode(s.blob[s.offsets[id]:])
+	if err != nil {
+		// The blob is written by this package; a decode failure means
+		// memory corruption, not bad input.
+		panic(fmt.Sprintf("db: corrupt record %d: %v", id, err))
+	}
+	return codes
+}
+
+func (s *Store) check(id int) {
+	if id < 0 || id >= len(s.descs) {
+		panic(fmt.Sprintf("db: record id %d out of range [0,%d)", id, len(s.descs)))
+	}
+}
+
+// storeMagic identifies the on-disk store format, version 1.
+const storeMagic = "NDBstor1"
+
+// Save writes the store to w in its on-disk format.
+func (s *Store) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(storeMagic); err != nil {
+		return fmt.Errorf("db: save: %w", err)
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(tmp[:], v)
+		_, err := bw.Write(tmp[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(len(s.descs))); err != nil {
+		return fmt.Errorf("db: save: %w", err)
+	}
+	for i, d := range s.descs {
+		if err := writeUvarint(uint64(len(d))); err != nil {
+			return fmt.Errorf("db: save: %w", err)
+		}
+		if _, err := bw.WriteString(d); err != nil {
+			return fmt.Errorf("db: save: %w", err)
+		}
+		if err := writeUvarint(uint64(s.offsets[i])); err != nil {
+			return fmt.Errorf("db: save: %w", err)
+		}
+		if err := writeUvarint(uint64(s.lengths[i])); err != nil {
+			return fmt.Errorf("db: save: %w", err)
+		}
+	}
+	if err := writeUvarint(uint64(len(s.blob))); err != nil {
+		return fmt.Errorf("db: save: %w", err)
+	}
+	if _, err := bw.Write(s.blob); err != nil {
+		return fmt.Errorf("db: save: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load reads a store previously written by Save.
+func Load(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(storeMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("db: load: %w", err)
+	}
+	if string(magic) != storeMagic {
+		return nil, fmt.Errorf("db: load: bad magic %q", magic)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("db: load: record count: %w", err)
+	}
+	const maxRecords = 1 << 40
+	if n > maxRecords {
+		return nil, fmt.Errorf("db: load: implausible record count %d", n)
+	}
+	s := &Store{
+		descs:   make([]string, 0, n),
+		offsets: make([]int, 0, n),
+		lengths: make([]int, 0, n),
+	}
+	for i := uint64(0); i < n; i++ {
+		dl, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("db: load: record %d desc length: %w", i, err)
+		}
+		desc := make([]byte, dl)
+		if _, err := io.ReadFull(br, desc); err != nil {
+			return nil, fmt.Errorf("db: load: record %d desc: %w", i, err)
+		}
+		off, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("db: load: record %d offset: %w", i, err)
+		}
+		length, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("db: load: record %d length: %w", i, err)
+		}
+		s.descs = append(s.descs, string(desc))
+		s.offsets = append(s.offsets, int(off))
+		s.lengths = append(s.lengths, int(length))
+		s.total += int(length)
+	}
+	bl, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("db: load: blob length: %w", err)
+	}
+	s.blob = make([]byte, bl)
+	if _, err := io.ReadFull(br, s.blob); err != nil {
+		return nil, fmt.Errorf("db: load: blob: %w", err)
+	}
+	// Validate the record table against the blob before trusting it.
+	for i := range s.offsets {
+		if s.offsets[i] > len(s.blob) {
+			return nil, fmt.Errorf("db: load: record %d offset %d beyond blob size %d", i, s.offsets[i], len(s.blob))
+		}
+		if i > 0 && s.offsets[i] < s.offsets[i-1] {
+			return nil, fmt.Errorf("db: load: record offsets not monotonic at %d", i)
+		}
+	}
+	return s, nil
+}
+
+// FromRecords builds a store from FASTA records.
+func FromRecords(recs []dna.Record) *Store {
+	var s Store
+	for _, r := range recs {
+		s.Add(r.Desc, r.Codes)
+	}
+	return &s
+}

@@ -1,0 +1,156 @@
+package db
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nucleodb/internal/dna"
+)
+
+func buildStore(t *testing.T, seqs ...string) *Store {
+	t.Helper()
+	var s Store
+	for i, q := range seqs {
+		id := s.Add("rec"+string(rune('A'+i)), dna.MustEncode(q))
+		if id != i {
+			t.Fatalf("Add returned id %d, want %d", id, i)
+		}
+	}
+	return &s
+}
+
+func TestStoreBasics(t *testing.T) {
+	s := buildStore(t, "ACGT", "GGNNCC", "")
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.TotalBases() != 10 {
+		t.Errorf("TotalBases = %d, want 10", s.TotalBases())
+	}
+	if got := dna.String(s.Sequence(0)); got != "ACGT" {
+		t.Errorf("Sequence(0) = %s", got)
+	}
+	if got := dna.String(s.Sequence(1)); got != "GGNNCC" {
+		t.Errorf("Sequence(1) = %s", got)
+	}
+	if got := s.Sequence(2); len(got) != 0 {
+		t.Errorf("Sequence(2) = %v", got)
+	}
+	if s.Desc(1) != "recB" {
+		t.Errorf("Desc(1) = %q", s.Desc(1))
+	}
+	if s.SeqLen(1) != 6 {
+		t.Errorf("SeqLen(1) = %d", s.SeqLen(1))
+	}
+}
+
+func TestStoreRandomAccessOrder(t *testing.T) {
+	// Records must be decodable independently of storage order — the
+	// property the fine phase relies on.
+	s := buildStore(t, "AAAA", "CCCC", "GGGG", "TTTT")
+	for _, id := range []int{3, 0, 2, 1, 2} {
+		want := strings.Repeat(string(dna.Letter(byte(id))), 4)
+		if got := dna.String(s.Sequence(id)); got != want {
+			t.Errorf("Sequence(%d) = %s, want %s", id, got, want)
+		}
+	}
+}
+
+func TestStorePanicsOutOfRange(t *testing.T) {
+	s := buildStore(t, "ACGT")
+	for _, id := range []int{-1, 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Sequence(%d) did not panic", id)
+				}
+			}()
+			s.Sequence(id)
+		}()
+	}
+}
+
+func TestStoreSaveLoad(t *testing.T) {
+	s := buildStore(t, "ACGT", "GGNNCC", "", "TTTTTTTTTTTTTTTTTTTT")
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() || got.TotalBases() != s.TotalBases() {
+		t.Fatalf("loaded Len=%d TotalBases=%d, want %d/%d",
+			got.Len(), got.TotalBases(), s.Len(), s.TotalBases())
+	}
+	for id := 0; id < s.Len(); id++ {
+		if got.Desc(id) != s.Desc(id) {
+			t.Errorf("Desc(%d) = %q, want %q", id, got.Desc(id), s.Desc(id))
+		}
+		if !reflect.DeepEqual(got.Sequence(id), s.Sequence(id)) {
+			t.Errorf("Sequence(%d) mismatch", id)
+		}
+	}
+}
+
+func TestStoreLoadRejectsCorrupt(t *testing.T) {
+	s := buildStore(t, "ACGTACGT", "GGCC")
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte("WRONGMAG"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	for _, cut := range []int{9, len(good) / 2, len(good) - 1} {
+		if _, err := Load(bytes.NewReader(good[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestStoreCompression(t *testing.T) {
+	// 2-bit packing dominates: encoded bytes must be well under
+	// 1 byte/base for realistic sequences.
+	var s Store
+	long := strings.Repeat("ACGTGGTCA", 1000)
+	s.Add("r", dna.MustEncode(long))
+	perBase := float64(s.EncodedBytes()) / float64(s.TotalBases())
+	if perBase > 0.3 {
+		t.Errorf("store uses %.3f bytes/base, want ≤ 0.3", perBase)
+	}
+}
+
+func TestFromRecords(t *testing.T) {
+	recs := []dna.Record{
+		{Desc: "a", Codes: dna.MustEncode("ACGT")},
+		{Desc: "b", Codes: dna.MustEncode("NN")},
+	}
+	s := FromRecords(recs)
+	if s.Len() != 2 || s.Desc(0) != "a" || dna.String(s.Sequence(1)) != "NN" {
+		t.Errorf("FromRecords store wrong: %d records", s.Len())
+	}
+}
+
+func TestEmptyStoreSaveLoad(t *testing.T) {
+	var s Store
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("loaded empty store has %d records", got.Len())
+	}
+}

@@ -1,0 +1,126 @@
+package dna
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// Record is one FASTA record: a description line (without the leading
+// '>') and the sequence in code form.
+type Record struct {
+	Desc  string
+	Codes []byte
+}
+
+// FastaReader reads FASTA-format nucleotide records from a stream.
+// Sequence lines are concatenated, whitespace is ignored, and letters
+// are validated and converted to code form as they are read.
+type FastaReader struct {
+	s          *bufio.Scanner
+	pending    string // description of the next record, if already scanned
+	hasPending bool
+	line       int
+	done       bool
+}
+
+// NewFastaReader returns a reader over r.
+func NewFastaReader(r io.Reader) *FastaReader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &FastaReader{s: s}
+}
+
+// Read returns the next record, or io.EOF after the last one.
+func (fr *FastaReader) Read() (Record, error) {
+	if fr.done {
+		return Record{}, io.EOF
+	}
+	var rec Record
+	haveHeader := false
+	if fr.hasPending {
+		rec.Desc = fr.pending
+		fr.pending, fr.hasPending = "", false
+		haveHeader = true
+	}
+	for fr.s.Scan() {
+		fr.line++
+		line := bytes.TrimSpace(fr.s.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '>' {
+			desc := string(bytes.TrimSpace(line[1:]))
+			if !haveHeader {
+				rec.Desc = desc
+				haveHeader = true
+				continue
+			}
+			fr.pending, fr.hasPending = desc, true
+			return rec, nil
+		}
+		if !haveHeader {
+			return Record{}, fmt.Errorf("dna: fasta line %d: sequence data before first header", fr.line)
+		}
+		for _, b := range line {
+			c, ok := Code(b)
+			if !ok {
+				return Record{}, fmt.Errorf("dna: fasta line %d: invalid nucleotide letter %q", fr.line, b)
+			}
+			rec.Codes = append(rec.Codes, c)
+		}
+	}
+	if err := fr.s.Err(); err != nil {
+		return Record{}, fmt.Errorf("dna: fasta read: %w", err)
+	}
+	fr.done = true
+	if !haveHeader {
+		return Record{}, io.EOF
+	}
+	return rec, nil
+}
+
+// ReadAll reads every record from r.
+func ReadAll(r io.Reader) ([]Record, error) {
+	fr := NewFastaReader(r)
+	var recs []Record
+	for {
+		rec, err := fr.Read()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// WriteFasta writes records to w in FASTA format with lines wrapped at
+// width bases (a width ≤ 0 selects the conventional 70).
+func WriteFasta(w io.Writer, recs []Record, width int) error {
+	if width <= 0 {
+		width = 70
+	}
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", rec.Desc); err != nil {
+			return err
+		}
+		letters := Decode(rec.Codes)
+		for start := 0; start < len(letters); start += width {
+			end := start + width
+			if end > len(letters) {
+				end = len(letters)
+			}
+			if _, err := bw.Write(letters[start:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

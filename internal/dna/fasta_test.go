@@ -1,0 +1,121 @@
+package dna
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFastaReadBasic(t *testing.T) {
+	in := ">seq1 first\nACGT\nACGT\n>seq2 second\nGGCC\n"
+	recs, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].Desc != "seq1 first" || String(recs[0].Codes) != "ACGTACGT" {
+		t.Errorf("record 0 = %q %s", recs[0].Desc, String(recs[0].Codes))
+	}
+	if recs[1].Desc != "seq2 second" || String(recs[1].Codes) != "GGCC" {
+		t.Errorf("record 1 = %q %s", recs[1].Desc, String(recs[1].Codes))
+	}
+}
+
+func TestFastaReadBlankLinesAndCase(t *testing.T) {
+	in := "\n>mix\nacgt\n\nNRYswkm\n"
+	recs, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || String(recs[0].Codes) != "ACGTNRYSWKM" {
+		t.Fatalf("got %+v", recs)
+	}
+}
+
+func TestFastaReadErrors(t *testing.T) {
+	if _, err := ReadAll(strings.NewReader("ACGT\n")); err == nil {
+		t.Error("sequence before header accepted")
+	}
+	if _, err := ReadAll(strings.NewReader(">s\nACXT\n")); err == nil {
+		t.Error("invalid letter accepted")
+	}
+}
+
+func TestFastaEmptyInput(t *testing.T) {
+	recs, err := ReadAll(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("got %d records from empty input", len(recs))
+	}
+}
+
+func TestFastaEmptySequenceRecord(t *testing.T) {
+	recs, err := ReadAll(strings.NewReader(">empty\n>full\nAC\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if len(recs[0].Codes) != 0 || recs[0].Desc != "empty" {
+		t.Errorf("empty record = %+v", recs[0])
+	}
+}
+
+func TestFastaReaderSequential(t *testing.T) {
+	fr := NewFastaReader(strings.NewReader(">a\nAC\n>b\nGT\n"))
+	r1, err := fr.Read()
+	if err != nil || r1.Desc != "a" {
+		t.Fatalf("first read: %v %+v", err, r1)
+	}
+	r2, err := fr.Read()
+	if err != nil || r2.Desc != "b" {
+		t.Fatalf("second read: %v %+v", err, r2)
+	}
+	if _, err := fr.Read(); err != io.EOF {
+		t.Fatalf("third read err = %v, want EOF", err)
+	}
+	if _, err := fr.Read(); err != io.EOF {
+		t.Fatalf("read after EOF err = %v, want EOF", err)
+	}
+}
+
+func TestFastaWriteRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Desc: "one", Codes: MustEncode("ACGTACGTACGTN")},
+		{Desc: "two", Codes: MustEncode("GG")},
+		{Desc: "empty", Codes: nil},
+	}
+	var buf bytes.Buffer
+	if err := WriteFasta(&buf, recs, 5); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Desc != recs[i].Desc || !bytes.Equal(got[i].Codes, recs[i].Codes) {
+			t.Errorf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestFastaWriteWrapping(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFasta(&buf, []Record{{Desc: "w", Codes: MustEncode("ACGTACGTAC")}}, 4); err != nil {
+		t.Fatal(err)
+	}
+	want := ">w\nACGT\nACGT\nAC\n"
+	if buf.String() != want {
+		t.Errorf("wrapped output = %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,104 @@
+package dna
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPack2RoundTrip(t *testing.T) {
+	for _, s := range []string{"", "A", "AC", "ACG", "ACGT", "ACGTA", "TTTTTTTTT", "GATTACA"} {
+		codes := MustEncode(s)
+		packed, err := Pack2(codes)
+		if err != nil {
+			t.Fatalf("Pack2(%s): %v", s, err)
+		}
+		if len(packed) != PackedLen(len(codes)) {
+			t.Errorf("Pack2(%s) length = %d, want %d", s, len(packed), PackedLen(len(codes)))
+		}
+		got := Unpack2(packed, len(codes))
+		if !bytes.Equal(got, codes) {
+			t.Errorf("round trip %s = %s", s, String(got))
+		}
+	}
+}
+
+func TestPack2RejectsWildcards(t *testing.T) {
+	if _, err := Pack2(MustEncode("ACNT")); err == nil {
+		t.Error("Pack2 accepted a wildcard")
+	}
+}
+
+func TestPack2Lossy(t *testing.T) {
+	packed, subs := Pack2Lossy(MustEncode("ANGT"))
+	if subs != 1 {
+		t.Errorf("substituted = %d, want 1", subs)
+	}
+	got := Unpack2(packed, 4)
+	if got[0] != BaseA || got[2] != BaseG || got[3] != BaseT {
+		t.Errorf("lossy pack corrupted concrete bases: %s", String(got))
+	}
+	if !IsBase(got[1]) {
+		t.Errorf("wildcard slot not a base: %d", got[1])
+	}
+}
+
+func TestBase2MatchesUnpack(t *testing.T) {
+	codes := MustEncode("GATTACAGATTACA")
+	packed, err := Pack2(codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range codes {
+		if got := Base2(packed, i); got != codes[i] {
+			t.Errorf("Base2(%d) = %d, want %d", i, got, codes[i])
+		}
+	}
+}
+
+func TestUnpack2IntoPartial(t *testing.T) {
+	codes := MustEncode("ACGTACG") // 7 bases: exercises the tail loop
+	packed, err := Pack2(codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 7)
+	Unpack2Into(packed, dst)
+	if !bytes.Equal(dst, codes) {
+		t.Errorf("Unpack2Into = %s, want %s", String(dst), String(codes))
+	}
+}
+
+func TestUnpack2PanicsWhenShort(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Unpack2 did not panic on short buffer")
+		}
+	}()
+	Unpack2([]byte{0}, 5)
+}
+
+func TestPropertyPackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(n uint16) bool {
+		codes := randomCodes(rng, int(n%4096), false)
+		packed, err := Pack2(codes)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(Unpack2(packed, len(codes)), codes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackedLen(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 4: 1, 5: 2, 8: 2, 9: 3}
+	for n, want := range cases {
+		if got := PackedLen(n); got != want {
+			t.Errorf("PackedLen(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

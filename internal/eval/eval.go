@@ -1,0 +1,174 @@
+// Package eval implements the measurement side of the experiment
+// suite: retrieval-effectiveness metrics against an exhaustive gold
+// standard, wall-clock timing helpers, and plain-text table rendering
+// shared by the cafe-bench tool and the benchmarks.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RecallAt returns the fraction of relevant ids found within the first
+// k entries of ranked. A k ≤ 0 or beyond the ranking uses the whole
+// ranking. An empty relevant set yields recall 1: there was nothing to
+// find.
+func RecallAt(ranked []int, relevant map[int]bool, k int) float64 {
+	if len(relevant) == 0 {
+		return 1
+	}
+	if k <= 0 || k > len(ranked) {
+		k = len(ranked)
+	}
+	found := 0
+	for _, id := range ranked[:k] {
+		if relevant[id] {
+			found++
+		}
+	}
+	return float64(found) / float64(len(relevant))
+}
+
+// PrecisionAt returns the fraction of the first k ranked entries that
+// are relevant. k beyond the ranking is clamped; an empty prefix yields
+// precision 0.
+func PrecisionAt(ranked []int, relevant map[int]bool, k int) float64 {
+	if k <= 0 || k > len(ranked) {
+		k = len(ranked)
+	}
+	if k == 0 {
+		return 0
+	}
+	found := 0
+	for _, id := range ranked[:k] {
+		if relevant[id] {
+			found++
+		}
+	}
+	return float64(found) / float64(k)
+}
+
+// AveragePrecision returns the mean of precision values at each
+// relevant rank — the standard single-number effectiveness summary.
+func AveragePrecision(ranked []int, relevant map[int]bool) float64 {
+	if len(relevant) == 0 {
+		return 1
+	}
+	found := 0
+	sum := 0.0
+	for i, id := range ranked {
+		if relevant[id] {
+			found++
+			sum += float64(found) / float64(i+1)
+		}
+	}
+	return sum / float64(len(relevant))
+}
+
+// Mean returns the arithmetic mean of xs, 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the median of xs, 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// Timed runs fn and returns its wall-clock duration.
+func Timed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// Table renders aligned plain-text tables, the output format of every
+// experiment.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

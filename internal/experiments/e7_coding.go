@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"nucleodb/internal/dna"
+	"nucleodb/internal/eval"
+)
+
+// E7Row is one sequence-storage scheme's measurement.
+type E7Row struct {
+	Scheme      string
+	Bytes       int
+	BitsPerBase float64
+	Lossless    bool
+	DecodeTime  time.Duration
+	DecodeMBps  float64 // megabases decoded per second
+}
+
+// E7 reproduces Table 5, the companion direct-coding claim: the
+// sequence store is compact, lossless (wildcards survive), and much
+// faster to decode than parsing text, and nearly as fast as raw 2-bit
+// unpacking (which cannot represent wildcards at all).
+func E7(w io.Writer, cfg Config) ([]E7Row, error) {
+	env, err := NewEnv(cfg, cfg.BaseBases)
+	if err != nil {
+		return nil, err
+	}
+	totalBases := env.TotalBases()
+
+	// Materialise the three representations.
+	ascii := make([][]byte, env.Store.Len())
+	packed := make([][]byte, env.Store.Len())
+	direct := make([][]byte, env.Store.Len())
+	var dc dna.DirectCoder
+	asciiBytes, packedBytes, directBytes := 0, 0, 0
+	for id := 0; id < env.Store.Len(); id++ {
+		seq := env.Store.Sequence(id)
+		ascii[id] = dna.Decode(seq)
+		asciiBytes += len(ascii[id])
+		p, _ := dna.Pack2Lossy(seq)
+		packed[id] = p
+		packedBytes += len(p)
+		direct[id] = dc.Encode(nil, seq)
+		directBytes += len(direct[id])
+	}
+
+	const passes = 3
+	timeIt := func(fn func() error) (time.Duration, error) {
+		var err error
+		start := time.Now()
+		for p := 0; p < passes; p++ {
+			if err = fn(); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start) / passes, nil
+	}
+
+	scratch := make([]byte, 1<<16)
+	asciiTime, err := timeIt(func() error {
+		for _, a := range ascii {
+			if cap(scratch) < len(a) {
+				scratch = make([]byte, len(a))
+			}
+			out, err := dna.Encode(a)
+			if err != nil {
+				return err
+			}
+			_ = out
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	packTime, err := timeIt(func() error {
+		for id, p := range packed {
+			n := env.Store.SeqLen(id)
+			if cap(scratch) < n {
+				scratch = make([]byte, n)
+			}
+			dna.Unpack2Into(p, scratch[:n])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	directTime, err := timeIt(func() error {
+		for _, d := range direct {
+			if _, _, err := dc.Decode(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	mk := func(name string, bytes int, lossless bool, t time.Duration) E7Row {
+		r := E7Row{
+			Scheme:      name,
+			Bytes:       bytes,
+			BitsPerBase: 8 * float64(bytes) / float64(totalBases),
+			Lossless:    lossless,
+			DecodeTime:  t,
+		}
+		if secs := t.Seconds(); secs > 0 {
+			r.DecodeMBps = float64(totalBases) / secs / 1e6
+		}
+		return r
+	}
+	rows := []E7Row{
+		mk("ascii (text parse)", asciiBytes, true, asciiTime),
+		mk("2-bit packed (lossy)", packedBytes, false, packTime),
+		mk("direct coding", directBytes, true, directTime),
+	}
+
+	tab := eval.NewTable(
+		fmt.Sprintf("E7 (Table 5): sequence-store coding — %.1f Mbases, %d wildcards",
+			float64(totalBases)/1e6, countWildcards(env)),
+		"scheme", "size", "bits/base", "lossless", "decode", "Mbases/s")
+	for _, r := range rows {
+		tab.AddRow(r.Scheme, mb(r.Bytes), fmt.Sprintf("%.3f", r.BitsPerBase),
+			r.Lossless, r.DecodeTime, fmt.Sprintf("%.0f", r.DecodeMBps))
+	}
+	if w != nil {
+		if err := tab.Render(w); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+func countWildcards(env *Env) int {
+	n := 0
+	for id := 0; id < env.Store.Len(); id++ {
+		n += dna.CountWildcards(env.Store.Sequence(id))
+	}
+	return n
+}

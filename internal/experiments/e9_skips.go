@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"nucleodb/internal/eval"
+	"nucleodb/internal/index"
+	"nucleodb/internal/kmer"
+)
+
+// E9Row is one configuration of the conjunctive-intersection ablation.
+type E9Row struct {
+	SkipInterval int
+	IndexBytes   int
+	MeanTime     time.Duration
+	Intersected  int // mean result-set size, sanity only
+}
+
+// E9 is an extension experiment beyond the paper's tables: skipped
+// ("self-indexing") posting lists, the companion compression/access
+// technique from the same research programme (Moffat & Zobel).
+// Conjunctive processing — find the sequences containing all of a
+// query's R rarest intervals — leapfrogs long lists via SeekGE, so
+// skip-built indexes answer it faster at a small size cost; the plain
+// index falls back to full merges.
+func E9(w io.Writer, cfg Config) ([]E9Row, error) {
+	env, err := NewEnv(cfg, cfg.BaseBases)
+	if err != nil {
+		return nil, err
+	}
+	// Short intervals make posting lists long: intersecting long lists
+	// is where skipping pays, mirroring conjunctive text queries.
+	const e9K = 6
+	coder, err := kmer.NewCoder(e9K)
+	if err != nil {
+		return nil, err
+	}
+
+	// Each query contributes a conjunction of its rarest term (the
+	// selective lead) and its three longest lists (the expensive ones
+	// a merge would decode in full).
+	const conjTerms = 4
+
+	var rows []E9Row
+	tab := eval.NewTable(
+		fmt.Sprintf("E9 (extension): conjunctive intersection via skipped lists — %d queries × %d terms, k=%d",
+			len(env.Queries), conjTerms, e9K),
+		"skip interval", "index size", "mean/intersection", "mean results")
+	for _, skip := range []int{0, 1, 8, 64} {
+		idx, _, err := env.BuildIndex(index.Options{K: e9K, SkipInterval: skip})
+		if err != nil {
+			return nil, err
+		}
+		termSets := make([][]kmer.Term, 0, len(env.Queries))
+		for _, q := range env.Queries {
+			terms := conjunctionTerms(idx, coder, q.Codes, conjTerms)
+			if len(terms) == conjTerms {
+				termSets = append(termSets, terms)
+			}
+		}
+		if len(termSets) == 0 {
+			return nil, fmt.Errorf("experiments: no queries with %d indexed terms", conjTerms)
+		}
+
+		var total time.Duration
+		results := 0
+		const passes = 5
+		for p := 0; p < passes; p++ {
+			for _, terms := range termSets {
+				var ids []int
+				elapsed := eval.Timed(func() {
+					var err2 error
+					ids, err2 = idx.IntersectTerms(terms)
+					if err2 != nil {
+						err = err2
+					}
+				})
+				if err != nil {
+					return nil, err
+				}
+				total += elapsed
+				if p == 0 {
+					results += len(ids)
+				}
+			}
+		}
+		onDisk, err := idx.SerializedBytes()
+		if err != nil {
+			return nil, err
+		}
+		row := E9Row{
+			SkipInterval: skip,
+			IndexBytes:   onDisk,
+			MeanTime:     total / time.Duration(passes*len(termSets)),
+			Intersected:  results / len(termSets),
+		}
+		rows = append(rows, row)
+		tab.AddRow(skip, mb(row.IndexBytes), row.MeanTime, row.Intersected)
+	}
+	if w != nil {
+		if err := tab.Render(w); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// conjunctionTerms returns the query's rarest indexed term followed by
+// its n−1 most frequent, distinct, indexed terms: a selective lead
+// driving seeks over long lists.
+func conjunctionTerms(idx *index.Index, coder *kmer.Coder, query []byte, n int) []kmer.Term {
+	seen := map[kmer.Term]bool{}
+	type tdf struct {
+		t  kmer.Term
+		df int
+	}
+	var all []tdf
+	coder.ExtractFunc(query, func(_ int, t kmer.Term) {
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		if df := idx.DF(t); df > 0 {
+			all = append(all, tdf{t, df})
+		}
+	})
+	if len(all) < n {
+		return nil
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].df != all[j].df {
+			return all[i].df < all[j].df
+		}
+		return all[i].t < all[j].t
+	})
+	terms := []kmer.Term{all[0].t}
+	for i := len(all) - 1; i >= 1 && len(terms) < n; i-- {
+		terms = append(terms, all[i].t)
+	}
+	return terms
+}

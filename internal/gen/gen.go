@@ -1,0 +1,219 @@
+// Package gen generates synthetic nucleotide collections and query
+// workloads. It stands in for the GenBank data the paper evaluated on
+// (see DESIGN.md): it reproduces the statistical properties the index
+// and search behaviour depend on — a four-letter alphabet with
+// GenBank-like base composition, a skewed (log-normal) sequence-length
+// distribution, a low rate of IUPAC wildcards, and, crucially,
+// homologous families produced by an explicit evolutionary mutation
+// model so that queries have genuine local-alignment answers to find.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nucleodb/internal/dna"
+)
+
+// Config controls collection synthesis. The zero value is not valid;
+// use DefaultConfig and adjust.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+
+	// NumSequences is the number of records to produce.
+	NumSequences int
+
+	// MeanLength and SigmaLength parameterise the log-normal length
+	// distribution: length = exp(N(ln MeanLength − σ²/2, σ)).
+	MeanLength  int
+	SigmaLength float64
+
+	// MinLength and MaxLength clamp generated lengths.
+	MinLength int
+	MaxLength int
+
+	// BaseFreq is the stationary base composition in A,C,G,T order.
+	// It must sum to approximately 1.
+	BaseFreq [4]float64
+
+	// WildcardRate is the per-base probability of an IUPAC wildcard
+	// (almost always N in real data; here N with probability 0.9 and a
+	// random other wildcard otherwise).
+	WildcardRate float64
+
+	// Families controls homologous-family synthesis: FamilyCount root
+	// sequences each spawn FamilySize−1 additional members derived by
+	// the mutation model at divergence drawn uniformly from
+	// [MinDivergence, MaxDivergence]. Family members replace ordinary
+	// records, so NumSequences is unchanged.
+	FamilyCount   int
+	FamilySize    int
+	MinDivergence float64
+	MaxDivergence float64
+}
+
+// DefaultConfig returns a GenBank-flavoured configuration for a
+// collection of n sequences.
+func DefaultConfig(n int, seed int64) Config {
+	return Config{
+		Seed:         seed,
+		NumSequences: n,
+		MeanLength:   900, // GenBank-era mean nucleotide record length
+		SigmaLength:  0.9,
+		MinLength:    60,
+		MaxLength:    20000,
+		// GenBank nucleotide composition is mildly AT-rich.
+		BaseFreq:      [4]float64{0.303, 0.197, 0.199, 0.301},
+		WildcardRate:  0.0008,
+		FamilyCount:   n / 20,
+		FamilySize:    5,
+		MinDivergence: 0.05,
+		MaxDivergence: 0.35,
+	}
+}
+
+// Collection is a generated set of records plus the family structure
+// used to create it, which evaluation uses as relevance ground truth.
+type Collection struct {
+	Records []dna.Record
+	// FamilyOf[i] is the family id of record i, or -1 for singletons.
+	FamilyOf []int
+}
+
+// Generate synthesises a collection.
+func Generate(cfg Config) (*Collection, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	col := &Collection{
+		Records:  make([]dna.Record, 0, cfg.NumSequences),
+		FamilyOf: make([]int, 0, cfg.NumSequences),
+	}
+
+	// Family members first, then singletons to fill.
+	fam := 0
+	for ; fam < cfg.FamilyCount && len(col.Records) < cfg.NumSequences; fam++ {
+		root := RandomSequence(rng, cfg.length(rng), cfg.BaseFreq, cfg.WildcardRate)
+		col.add(dna.Record{
+			Desc:  fmt.Sprintf("SYN%06d family=%d member=0", len(col.Records), fam),
+			Codes: root,
+		}, fam)
+		for m := 1; m < cfg.FamilySize && len(col.Records) < cfg.NumSequences; m++ {
+			div := cfg.MinDivergence + rng.Float64()*(cfg.MaxDivergence-cfg.MinDivergence)
+			mut := Mutate(rng, root, MutationModel{
+				SubstitutionRate: div * 0.8,
+				InsertionRate:    div * 0.1,
+				DeletionRate:     div * 0.1,
+			})
+			col.add(dna.Record{
+				Desc:  fmt.Sprintf("SYN%06d family=%d member=%d div=%.2f", len(col.Records), fam, m, div),
+				Codes: mut,
+			}, fam)
+		}
+	}
+	for len(col.Records) < cfg.NumSequences {
+		col.add(dna.Record{
+			Desc:  fmt.Sprintf("SYN%06d singleton", len(col.Records)),
+			Codes: RandomSequence(rng, cfg.length(rng), cfg.BaseFreq, cfg.WildcardRate),
+		}, -1)
+	}
+	return col, nil
+}
+
+func (c *Collection) add(rec dna.Record, family int) {
+	c.Records = append(c.Records, rec)
+	c.FamilyOf = append(c.FamilyOf, family)
+}
+
+// TotalBases returns the number of bases across all records.
+func (c *Collection) TotalBases() int {
+	n := 0
+	for _, r := range c.Records {
+		n += len(r.Codes)
+	}
+	return n
+}
+
+func (cfg *Config) validate() error {
+	if cfg.NumSequences <= 0 {
+		return fmt.Errorf("gen: NumSequences must be positive, got %d", cfg.NumSequences)
+	}
+	if cfg.MeanLength <= 0 || cfg.MinLength <= 0 || cfg.MaxLength < cfg.MinLength {
+		return fmt.Errorf("gen: invalid length configuration mean=%d min=%d max=%d",
+			cfg.MeanLength, cfg.MinLength, cfg.MaxLength)
+	}
+	sum := 0.0
+	for _, f := range cfg.BaseFreq {
+		if f < 0 {
+			return fmt.Errorf("gen: negative base frequency %v", cfg.BaseFreq)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 0.01 {
+		return fmt.Errorf("gen: base frequencies sum to %.3f, want 1", sum)
+	}
+	if cfg.WildcardRate < 0 || cfg.WildcardRate > 0.5 {
+		return fmt.Errorf("gen: wildcard rate %.3f outside [0,0.5]", cfg.WildcardRate)
+	}
+	if cfg.FamilyCount < 0 || cfg.FamilySize < 0 {
+		return fmt.Errorf("gen: negative family configuration")
+	}
+	if cfg.MinDivergence < 0 || cfg.MaxDivergence < cfg.MinDivergence || cfg.MaxDivergence > 1 {
+		return fmt.Errorf("gen: divergence range [%.2f,%.2f] invalid", cfg.MinDivergence, cfg.MaxDivergence)
+	}
+	return nil
+}
+
+// length draws a log-normal sequence length.
+func (cfg *Config) length(rng *rand.Rand) int {
+	mu := math.Log(float64(cfg.MeanLength)) - cfg.SigmaLength*cfg.SigmaLength/2
+	l := int(math.Exp(rng.NormFloat64()*cfg.SigmaLength + mu))
+	if l < cfg.MinLength {
+		l = cfg.MinLength
+	}
+	if l > cfg.MaxLength {
+		l = cfg.MaxLength
+	}
+	return l
+}
+
+// RandomSequence draws a sequence of the given length from the base
+// composition, with wildcards inserted at wildcardRate.
+func RandomSequence(rng *rand.Rand, length int, freq [4]float64, wildcardRate float64) []byte {
+	// Cumulative distribution for base sampling.
+	var cum [4]float64
+	acc := 0.0
+	for i, f := range freq {
+		acc += f
+		cum[i] = acc
+	}
+	codes := make([]byte, length)
+	for i := range codes {
+		if wildcardRate > 0 && rng.Float64() < wildcardRate {
+			codes[i] = randomWildcard(rng)
+			continue
+		}
+		r := rng.Float64() * acc
+		switch {
+		case r < cum[0]:
+			codes[i] = dna.BaseA
+		case r < cum[1]:
+			codes[i] = dna.BaseC
+		case r < cum[2]:
+			codes[i] = dna.BaseG
+		default:
+			codes[i] = dna.BaseT
+		}
+	}
+	return codes
+}
+
+func randomWildcard(rng *rand.Rand) byte {
+	if rng.Float64() < 0.9 {
+		return dna.WildN
+	}
+	return dna.WildR + byte(rng.Intn(int(dna.WildN-dna.WildR)))
+}

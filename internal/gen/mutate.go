@@ -1,0 +1,106 @@
+package gen
+
+import (
+	"math/rand"
+
+	"nucleodb/internal/dna"
+)
+
+// MutationModel parameterises the evolutionary model used to derive
+// homologous sequences: independent per-base substitution, insertion
+// and deletion events. Rates are probabilities per base and must each
+// be in [0,1).
+type MutationModel struct {
+	SubstitutionRate float64
+	InsertionRate    float64
+	DeletionRate     float64
+}
+
+// Divergence returns the total per-base event rate.
+func (m MutationModel) Divergence() float64 {
+	return m.SubstitutionRate + m.InsertionRate + m.DeletionRate
+}
+
+// Mutate derives a new sequence from src under the model. Wildcards in
+// the source are preserved unless hit by an event; substitutions always
+// change the base (a substitution that drew the same base redraws).
+func Mutate(rng *rand.Rand, src []byte, m MutationModel) []byte {
+	out := make([]byte, 0, len(src)+len(src)/8)
+	for _, c := range src {
+		// Insertion before this base.
+		for m.InsertionRate > 0 && rng.Float64() < m.InsertionRate {
+			out = append(out, byte(rng.Intn(dna.NumBases)))
+		}
+		if m.DeletionRate > 0 && rng.Float64() < m.DeletionRate {
+			continue
+		}
+		if m.SubstitutionRate > 0 && rng.Float64() < m.SubstitutionRate {
+			out = append(out, substitute(rng, c))
+			continue
+		}
+		out = append(out, c)
+	}
+	// Possible insertion at the tail.
+	for m.InsertionRate > 0 && rng.Float64() < m.InsertionRate {
+		out = append(out, byte(rng.Intn(dna.NumBases)))
+	}
+	return out
+}
+
+// substitute draws a base different from c (for a wildcard, any base).
+func substitute(rng *rand.Rand, c byte) byte {
+	if !dna.IsBase(c) {
+		return byte(rng.Intn(dna.NumBases))
+	}
+	b := byte(rng.Intn(dna.NumBases - 1))
+	if b >= c {
+		b++
+	}
+	return b
+}
+
+// EmbedDomain derives a sequence that shares only a conserved region
+// with src: the domain src[domainStart:domainStart+domainLen] is
+// mutated under the model and embedded at a random position inside
+// otherwise random sequence of totalLen bases. This is the
+// partial-homology structure — shared functional domains inside
+// otherwise unrelated sequences — for which local (rather than global)
+// alignment is the right answer semantics.
+func EmbedDomain(rng *rand.Rand, src []byte, domainStart, domainLen, totalLen int, m MutationModel) []byte {
+	if domainStart < 0 {
+		domainStart = 0
+	}
+	if domainStart+domainLen > len(src) {
+		domainLen = len(src) - domainStart
+	}
+	domain := Mutate(rng, src[domainStart:domainStart+domainLen], m)
+	if totalLen < len(domain) {
+		totalLen = len(domain)
+	}
+	out := make([]byte, 0, totalLen)
+	pad := totalLen - len(domain)
+	before := 0
+	if pad > 0 {
+		before = rng.Intn(pad + 1)
+	}
+	uniform := [4]float64{0.25, 0.25, 0.25, 0.25}
+	out = append(out, RandomSequence(rng, before, uniform, 0)...)
+	out = append(out, domain...)
+	out = append(out, RandomSequence(rng, pad-before, uniform, 0)...)
+	return out
+}
+
+// Fragment extracts a random contiguous fragment of the given length
+// from src, as query workloads do when simulating partial sequencing
+// reads. If src is shorter than length the whole sequence is returned.
+func Fragment(rng *rand.Rand, src []byte, length int) []byte {
+	if len(src) <= length {
+		out := make([]byte, len(src))
+		copy(out, src)
+		return out
+	}
+	start := rng.Intn(len(src) - length + 1)
+	out := make([]byte, length)
+	copy(out, src[start:start+length])
+	return out
+}

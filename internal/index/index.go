@@ -1,0 +1,579 @@
+// Package index implements the inverted interval index: a lexicon
+// mapping each interval term to its compressed posting list, the
+// two-pass build pipeline that constructs it from a sequence store, and
+// an on-disk format. Index stopping — discarding the most frequent
+// intervals, which carry little discriminating power but account for a
+// disproportionate share of index size and query cost — is applied at
+// build time.
+package index
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"nucleodb/internal/compress"
+	"nucleodb/internal/kmer"
+	"nucleodb/internal/postings"
+)
+
+// Source supplies the sequences to index. *db.Store satisfies it.
+type Source interface {
+	// Len returns the number of sequences.
+	Len() int
+	// Sequence returns sequence i in code form.
+	Sequence(i int) []byte
+}
+
+// Options configures an index build.
+type Options struct {
+	// K is the interval length, in [1, kmer.MaxK]. The paper's
+	// experiments centre on lengths around 8–12.
+	K int
+	// StoreOffsets selects whether in-sequence occurrence offsets are
+	// kept in the posting lists. Offsets enable diagonal (FRAMES-style)
+	// coarse scoring at the cost of a larger index.
+	StoreOffsets bool
+	// StopFraction is the fraction of distinct terms, most frequent
+	// first, to discard from the index ("index stopping"). 0 keeps
+	// everything.
+	StopFraction float64
+	// SpacedMask, when non-empty, indexes spaced seeds instead of
+	// contiguous intervals: the mask's '1' positions (e.g.
+	// "1110100101") are sampled from each window. K is ignored in
+	// favour of the mask's weight. Spaced seeds trade a slightly
+	// larger window for markedly better sensitivity to diverged
+	// homologies (PatternHunter).
+	SpacedMask string
+	// SkipInterval, when positive, stores a synchronisation point
+	// every SkipInterval entries in each posting list (self-indexing),
+	// enabling SeekGE-based conjunctive processing at a small size
+	// cost. A value of 1 uses the √df heuristic per list. 0 stores
+	// plain lists.
+	SkipInterval int
+	// Workers bounds build parallelism for the list-encoding phase.
+	// 0 uses GOMAXPROCS; 1 forces a serial build. Output is identical
+	// regardless of the worker count.
+	Workers int
+}
+
+// DefaultOptions returns the configuration used by the headline
+// experiments: 9-base intervals, offsets stored, no stopping.
+func DefaultOptions() Options {
+	return Options{K: 9, StoreOffsets: true}
+}
+
+// MaxK is the longest indexable interval. The build pipeline and the
+// term statistics use dense arrays over the 4^K vocabulary, which is
+// practical up to K = 12 (about 134 MB of transient build state).
+const MaxK = 12
+
+// coder constructs the interval coder the options select.
+func (o Options) coder() (*kmer.Coder, error) {
+	if o.SpacedMask != "" {
+		return kmer.NewSpacedCoder(o.SpacedMask)
+	}
+	return kmer.NewCoder(o.K)
+}
+
+func (o Options) validate() error {
+	if o.SpacedMask != "" {
+		c, err := o.coder()
+		if err != nil {
+			return fmt.Errorf("index: %w", err)
+		}
+		if c.K() > MaxK {
+			return fmt.Errorf("index: spaced mask weight %d above %d", c.K(), MaxK)
+		}
+	} else if o.K < 1 || o.K > MaxK {
+		return fmt.Errorf("index: interval length %d outside [1,%d]", o.K, MaxK)
+	}
+	if o.StopFraction < 0 || o.StopFraction > 1 {
+		return fmt.Errorf("index: stop fraction %v outside [0,1]", o.StopFraction)
+	}
+	if o.SkipInterval < 0 {
+		return fmt.Errorf("index: negative skip interval %d", o.SkipInterval)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("index: negative worker count %d", o.Workers)
+	}
+	return nil
+}
+
+// Index is an immutable inverted interval index over a sequence store.
+type Index struct {
+	opts    Options
+	coder   *kmer.Coder
+	numSeqs int
+	seqLens []int32
+
+	// Lexicon: parallel arrays sorted by term. A term absent from
+	// these arrays either never occurs or was stopped.
+	terms []uint64
+	dfs   []uint32
+	offs  []uint64 // byte offset of each list in blob
+	lens  []uint32 // byte length of each list
+
+	blob []byte
+
+	stopped []uint64 // sorted stopped terms
+
+	// Disk-backed access (see OpenDisk): when fetch is non-nil, blob
+	// is empty and list bytes are read on demand.
+	fetch   func(off uint64, n uint32) ([]byte, error)
+	blobLen int
+	closer  interface{ Close() error }
+}
+
+// Build constructs an index over src.
+//
+// The pipeline is two passes over the collection: the first counts term
+// frequencies (sizing the posting buckets exactly and selecting the
+// stop set), the second distributes occurrences into the buckets in
+// (sequence, offset) order so each list can be compressed directly.
+func Build(src Source, opts Options) (*Index, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	coder, err := opts.coder()
+	if err != nil {
+		return nil, err
+	}
+	opts.K = coder.K() // normalise: spaced masks define K by weight
+	numSeqs := src.Len()
+
+	// Pass 1: term frequencies and sequence lengths.
+	stats := kmer.NewStats(coder)
+	seqLens := make([]int32, numSeqs)
+	for id := 0; id < numSeqs; id++ {
+		seq := src.Sequence(id)
+		seqLens[id] = int32(len(seq))
+		stats.Add(seq)
+	}
+
+	stopSet := stats.TopFraction(opts.StopFraction)
+	stopped := make([]uint64, 0, len(stopSet))
+	for t := range stopSet {
+		stopped = append(stopped, uint64(t))
+	}
+	sort.Slice(stopped, func(i, j int) bool { return stopped[i] < stopped[j] })
+
+	// Bucket sizing: prefix sums of per-term occurrence counts,
+	// excluding stopped terms.
+	numTerms := coder.NumTerms()
+	starts := make([]uint64, numTerms+1)
+	for t := uint64(0); t < numTerms; t++ {
+		c := uint64(stats.Count(kmer.Term(t)))
+		if stopSet[kmer.Term(t)] {
+			c = 0
+		}
+		starts[t+1] = starts[t] + c
+	}
+	totalOcc := starts[numTerms]
+
+	// Pass 2: distribute occurrences. Each element packs
+	// (sequence id << 32 | offset); filling in scan order keeps each
+	// bucket sorted by (id, offset).
+	occ := make([]uint64, totalOcc)
+	fill := make([]uint64, numTerms)
+	copy(fill, starts[:numTerms])
+	for id := 0; id < numSeqs; id++ {
+		seq := src.Sequence(id)
+		sid := uint64(id) << 32
+		coder.ExtractFunc(seq, func(pos int, t kmer.Term) {
+			if stopSet[t] {
+				return
+			}
+			occ[fill[t]] = sid | uint64(uint32(pos))
+			fill[t]++
+		})
+	}
+
+	// Encode each non-empty bucket as a compressed posting list,
+	// sharding the term space across workers; shards are merged in
+	// term order so the result is identical at any parallelism.
+	idx := &Index{
+		opts:    opts,
+		coder:   coder,
+		numSeqs: numSeqs,
+		seqLens: seqLens,
+		stopped: stopped,
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > int(numTerms) {
+		workers = int(numTerms)
+	}
+	shards := make([]encodeShard, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		lo := numTerms * uint64(wi) / uint64(workers)
+		hi := numTerms * uint64(wi+1) / uint64(workers)
+		wg.Add(1)
+		go func(sh *encodeShard, lo, hi uint64) {
+			defer wg.Done()
+			sh.err = sh.encodeRange(occ, starts, lo, hi, numSeqs, opts)
+		}(&shards[wi], lo, hi)
+	}
+	wg.Wait()
+	for _, sh := range shards {
+		if sh.err != nil {
+			return nil, sh.err
+		}
+	}
+	total := 0
+	terms := 0
+	for _, sh := range shards {
+		total += len(sh.blob)
+		terms += len(sh.terms)
+	}
+	idx.terms = make([]uint64, 0, terms)
+	idx.dfs = make([]uint32, 0, terms)
+	idx.offs = make([]uint64, 0, terms)
+	idx.lens = make([]uint32, 0, terms)
+	idx.blob = make([]byte, 0, total)
+	for _, sh := range shards {
+		base := uint64(len(idx.blob))
+		idx.terms = append(idx.terms, sh.terms...)
+		idx.dfs = append(idx.dfs, sh.dfs...)
+		for _, l := range sh.lens {
+			idx.offs = append(idx.offs, base)
+			idx.lens = append(idx.lens, l)
+			base += uint64(l)
+		}
+		idx.blob = append(idx.blob, sh.blob...)
+	}
+	return idx, nil
+}
+
+// encodeShard accumulates one worker's contiguous term range.
+type encodeShard struct {
+	terms []uint64
+	dfs   []uint32
+	lens  []uint32
+	blob  []byte
+	err   error
+}
+
+// encodeRange encodes every non-empty bucket in [lo, hi).
+func (sh *encodeShard) encodeRange(occ, starts []uint64, lo, hi uint64, numSeqs int, opts Options) error {
+	var entries []postings.Entry
+	for t := lo; t < hi; t++ {
+		bucket := occ[starts[t]:starts[t+1]]
+		if len(bucket) == 0 {
+			continue
+		}
+		entries = entries[:0]
+		for _, packed := range bucket {
+			id := uint32(packed >> 32)
+			off := uint32(packed)
+			if n := len(entries); n > 0 && entries[n-1].ID == id {
+				entries[n-1].Count++
+				if opts.StoreOffsets {
+					entries[n-1].Offsets = append(entries[n-1].Offsets, off)
+				}
+				continue
+			}
+			e := postings.Entry{ID: id, Count: 1}
+			if opts.StoreOffsets {
+				e.Offsets = []uint32{off}
+			}
+			entries = append(entries, e)
+		}
+		var buf []byte
+		var err error
+		if opts.SkipInterval > 0 {
+			interval := opts.SkipInterval
+			if interval == 1 {
+				interval = 0 // EncodeSkipped's √df heuristic
+			}
+			buf, err = postings.EncodeSkipped(entries, numSeqs, opts.StoreOffsets, interval)
+		} else {
+			buf, err = postings.Encode(entries, numSeqs, opts.StoreOffsets)
+		}
+		if err != nil {
+			return fmt.Errorf("index: term %d: %w", t, err)
+		}
+		sh.terms = append(sh.terms, t)
+		sh.dfs = append(sh.dfs, uint32(len(entries)))
+		sh.lens = append(sh.lens, uint32(len(buf)))
+		sh.blob = append(sh.blob, buf...)
+	}
+	return nil
+}
+
+// Options returns the build options of the index.
+func (x *Index) Options() Options { return x.opts }
+
+// K returns the interval length.
+func (x *Index) K() int { return x.opts.K }
+
+// Coder returns the interval coder matching the index's interval length.
+func (x *Index) Coder() *kmer.Coder { return x.coder }
+
+// NumSeqs returns the number of indexed sequences.
+func (x *Index) NumSeqs() int { return x.numSeqs }
+
+// SeqLen returns the length in bases of sequence id.
+func (x *Index) SeqLen(id int) int { return int(x.seqLens[id]) }
+
+// NumTermsIndexed returns the number of distinct terms with posting
+// lists (after stopping).
+func (x *Index) NumTermsIndexed() int { return len(x.terms) }
+
+// NumStopped returns the number of stopped terms.
+func (x *Index) NumStopped() int { return len(x.stopped) }
+
+// PostingsBytes returns the size of the compressed posting data.
+func (x *Index) PostingsBytes() int {
+	if x.fetch != nil {
+		return x.blobLen
+	}
+	return len(x.blob)
+}
+
+// listBytes returns the raw encoded bytes of lexicon slot i, from
+// memory or disk.
+func (x *Index) listBytes(i int) ([]byte, error) {
+	if x.fetch != nil {
+		return x.fetch(x.offs[i], x.lens[i])
+	}
+	return x.blob[x.offs[i] : x.offs[i]+uint64(x.lens[i])], nil
+}
+
+// TotalPostings returns the number of (term, sequence) postings across
+// all lists — what an uncompressed inverted file would store one record
+// per.
+func (x *Index) TotalPostings() int {
+	n := 0
+	for _, df := range x.dfs {
+		n += int(df)
+	}
+	return n
+}
+
+// Terms calls fn for every indexed term in ascending order.
+func (x *Index) Terms(fn func(t kmer.Term, df int)) {
+	for i, t := range x.terms {
+		fn(kmer.Term(t), int(x.dfs[i]))
+	}
+}
+
+// LexiconBytes returns the in-memory size of the lexicon arrays.
+func (x *Index) LexiconBytes() int {
+	return len(x.terms)*8 + len(x.dfs)*4 + len(x.offs)*8 + len(x.lens)*4
+}
+
+// SizeBytes returns the total index size: lexicon, postings, stop list
+// and sequence-length table. For a disk-opened index the postings
+// component is the on-disk blob size, not resident memory.
+func (x *Index) SizeBytes() int {
+	return x.LexiconBytes() + x.PostingsBytes() + len(x.stopped)*8 + len(x.seqLens)*4
+}
+
+// lookup returns the lexicon slot of term t, or -1.
+func (x *Index) lookup(t kmer.Term) int {
+	i := sort.Search(len(x.terms), func(i int) bool { return x.terms[i] >= uint64(t) })
+	if i < len(x.terms) && x.terms[i] == uint64(t) {
+		return i
+	}
+	return -1
+}
+
+// DF returns the document frequency (number of sequences containing)
+// of term t, 0 if unindexed or stopped.
+func (x *Index) DF(t kmer.Term) int {
+	if i := x.lookup(t); i >= 0 {
+		return int(x.dfs[i])
+	}
+	return 0
+}
+
+// Stopped reports whether term t was discarded by index stopping.
+func (x *Index) Stopped(t kmer.Term) bool {
+	i := sort.Search(len(x.stopped), func(i int) bool { return x.stopped[i] >= uint64(t) })
+	return i < len(x.stopped) && x.stopped[i] == uint64(t)
+}
+
+// listPayload returns the plain-encoded payload of lexicon slot i,
+// stepping over the skip header when the index stores skipped lists.
+func (x *Index) listPayload(i int) ([]byte, error) {
+	buf, err := x.listBytes(i)
+	if err != nil {
+		return nil, err
+	}
+	if x.opts.SkipInterval == 0 {
+		return buf, nil
+	}
+	hlen, n, err := compress.GetVByte(buf)
+	if err != nil {
+		return nil, fmt.Errorf("index: term slot %d skip header: %w", i, err)
+	}
+	if uint64(len(buf)-n) < hlen {
+		return nil, fmt.Errorf("index: term slot %d truncated skip header", i)
+	}
+	return buf[n+int(hlen):], nil
+}
+
+// Reader positions it over the posting list of term t and returns the
+// document frequency (0 when the term has no list; the iterator is then
+// empty). The iterator is owned by the caller and may be reused across
+// terms. Skip-encoded lists iterate identically; use SkippedReader for
+// SeekGE access.
+func (x *Index) Reader(t kmer.Term, it *postings.Iterator) int {
+	i := x.lookup(t)
+	if i < 0 {
+		it.Reset(nil, 0, x.numSeqs, x.opts.StoreOffsets)
+		return 0
+	}
+	payload, err := x.listPayload(i)
+	if err != nil {
+		// The blob was written by Build/validated by Load; a bad
+		// header here is internal corruption, surfaced via the
+		// iterator's error channel by handing it a truncated buffer.
+		it.Reset(nil, int(x.dfs[i]), x.numSeqs, x.opts.StoreOffsets)
+		return int(x.dfs[i])
+	}
+	it.Reset(payload, int(x.dfs[i]), x.numSeqs, x.opts.StoreOffsets)
+	return int(x.dfs[i])
+}
+
+// SkippedReader returns a seekable iterator over term t's list, or nil
+// when the term has no list. It requires an index built with
+// SkipInterval > 0.
+func (x *Index) SkippedReader(t kmer.Term) (*postings.SkipIterator, error) {
+	if x.opts.SkipInterval == 0 {
+		return nil, fmt.Errorf("index: SkippedReader needs an index built with SkipInterval > 0")
+	}
+	i := x.lookup(t)
+	if i < 0 {
+		return nil, nil
+	}
+	buf, err := x.listBytes(i)
+	if err != nil {
+		return nil, err
+	}
+	sl, err := postings.OpenSkipped(buf, int(x.dfs[i]), x.numSeqs, x.opts.StoreOffsets)
+	if err != nil {
+		return nil, fmt.Errorf("index: term %d: %w", t, err)
+	}
+	return sl.Iter(), nil
+}
+
+// Postings decodes and returns the full posting list of term t.
+// Intended for tests and tools; query evaluation uses Reader.
+func (x *Index) Postings(t kmer.Term) ([]postings.Entry, error) {
+	i := x.lookup(t)
+	if i < 0 {
+		return nil, nil
+	}
+	payload, err := x.listPayload(i)
+	if err != nil {
+		return nil, err
+	}
+	return postings.Decode(payload, int(x.dfs[i]), x.numSeqs, x.opts.StoreOffsets)
+}
+
+// IntersectTerms returns the ids of sequences containing every one of
+// the given terms, ascending. With a skip-built index it leapfrogs via
+// SeekGE, visiting only a fraction of the longer lists; otherwise it
+// falls back to a full merge. Terms with no postings make the result
+// empty. Duplicate terms are permitted.
+func (x *Index) IntersectTerms(terms []kmer.Term) ([]int, error) {
+	if len(terms) == 0 {
+		return nil, nil
+	}
+	// Rarest-first ordering minimises work for both strategies.
+	sorted := append([]kmer.Term(nil), terms...)
+	sort.Slice(sorted, func(i, j int) bool { return x.DF(sorted[i]) < x.DF(sorted[j]) })
+	if x.DF(sorted[0]) == 0 {
+		return nil, nil
+	}
+
+	if x.opts.SkipInterval > 0 {
+		return x.intersectSkipped(sorted)
+	}
+	return x.intersectMerge(sorted)
+}
+
+func (x *Index) intersectSkipped(terms []kmer.Term) ([]int, error) {
+	its := make([]*postings.SkipIterator, len(terms))
+	for i, t := range terms {
+		it, err := x.SkippedReader(t)
+		if err != nil {
+			return nil, err
+		}
+		if it == nil {
+			return nil, nil
+		}
+		its[i] = it
+	}
+	var out []int
+	// Drive from the rarest list; leapfrog the others.
+	lead := its[0]
+outer:
+	for lead.Next() {
+		id := lead.Entry().ID
+		for _, it := range its[1:] {
+			if !it.SeekGE(id) {
+				break outer
+			}
+			if got := it.Entry().ID; got != id {
+				// Candidate absent from this list: advance the lead
+				// past it on the next iteration.
+				continue outer
+			}
+		}
+		out = append(out, int(id))
+	}
+	for _, it := range its {
+		if err := it.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (x *Index) intersectMerge(terms []kmer.Term) ([]int, error) {
+	// Decode the rarest list as the candidate set, then filter through
+	// each remaining list with a linear merge.
+	first, err := x.Postings(terms[0])
+	if err != nil {
+		return nil, err
+	}
+	candidates := make([]uint32, len(first))
+	for i, e := range first {
+		candidates[i] = e.ID
+	}
+	var it postings.Iterator
+	for _, t := range terms[1:] {
+		if len(candidates) == 0 {
+			return nil, nil
+		}
+		x.Reader(t, &it)
+		kept := candidates[:0]
+		ci := 0
+		for it.Next() && ci < len(candidates) {
+			id := it.Entry().ID
+			for ci < len(candidates) && candidates[ci] < id {
+				ci++
+			}
+			if ci < len(candidates) && candidates[ci] == id {
+				kept = append(kept, id)
+				ci++
+			}
+		}
+		if err := it.Err(); err != nil {
+			return nil, err
+		}
+		candidates = kept
+	}
+	out := make([]int, len(candidates))
+	for i, id := range candidates {
+		out[i] = int(id)
+	}
+	return out, nil
+}

@@ -1,0 +1,268 @@
+package index
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"nucleodb/internal/db"
+	"nucleodb/internal/dna"
+	"nucleodb/internal/kmer"
+	"nucleodb/internal/postings"
+)
+
+func randomStore(seed int64, n, length int) *db.Store {
+	rng := rand.New(rand.NewSource(seed))
+	var s db.Store
+	for i := 0; i < n; i++ {
+		seq := make([]byte, length)
+		for j := range seq {
+			seq[j] = byte(rng.Intn(dna.NumBases))
+		}
+		s.Add("r", seq)
+	}
+	return &s
+}
+
+func TestSkipIndexSamePostings(t *testing.T) {
+	s := randomStore(91, 80, 400)
+	plain, err := Build(s, Options{K: 5, StoreOffsets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipped, err := Build(s, Options{K: 5, StoreOffsets: true, SkipInterval: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.NumTermsIndexed() != skipped.NumTermsIndexed() {
+		t.Fatalf("term counts differ: %d vs %d", plain.NumTermsIndexed(), skipped.NumTermsIndexed())
+	}
+	plain.Terms(func(term kmer.Term, df int) {
+		a, err := plain.Postings(term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := skipped.Postings(term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("term %d postings differ between plain and skipped builds", term)
+		}
+	})
+	// Skip structure costs space.
+	if skipped.PostingsBytes() <= plain.PostingsBytes() {
+		t.Errorf("skip-built postings %d not larger than plain %d",
+			skipped.PostingsBytes(), plain.PostingsBytes())
+	}
+}
+
+func TestSkipIndexReaderIteratesSame(t *testing.T) {
+	s := randomStore(92, 50, 300)
+	skipped, err := Build(s, Options{K: 5, SkipInterval: 1}) // √df heuristic
+	if err != nil {
+		t.Fatal(err)
+	}
+	var it postings.Iterator
+	skipped.Terms(func(term kmer.Term, df int) {
+		got := skipped.Reader(term, &it)
+		if got != df {
+			t.Fatalf("Reader df %d, lexicon df %d", got, df)
+		}
+		n := 0
+		for it.Next() {
+			n++
+		}
+		if it.Err() != nil || n != df {
+			t.Fatalf("term %d: iterated %d of %d (%v)", term, n, df, it.Err())
+		}
+	})
+}
+
+func TestSkippedReaderSeek(t *testing.T) {
+	s := randomStore(93, 200, 200)
+	idx, err := Build(s, Options{K: 4, SkipInterval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var term kmer.Term
+	bestDF := 0
+	idx.Terms(func(tm kmer.Term, df int) {
+		if df > bestDF {
+			term, bestDF = tm, df
+		}
+	})
+	if bestDF < 10 {
+		t.Fatalf("no dense term found (best df %d)", bestDF)
+	}
+	entries, err := idx.Postings(term)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := idx.SkippedReader(term)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := entries[len(entries)/2].ID
+	if !it.SeekGE(mid) || it.Entry().ID != mid {
+		t.Fatalf("SeekGE(%d) missed", mid)
+	}
+
+	plainIdx, err := Build(s, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plainIdx.SkippedReader(term); err == nil {
+		t.Error("SkippedReader on plain index accepted")
+	}
+}
+
+func TestSkipIndexSaveLoad(t *testing.T) {
+	s := randomStore(94, 60, 300)
+	idx, err := Build(s, Options{K: 5, StoreOffsets: true, SkipInterval: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Options() != idx.Options() {
+		t.Fatalf("options = %+v, want %+v", got.Options(), idx.Options())
+	}
+	// Seek still works after reload.
+	var term kmer.Term
+	bestDF := 0
+	got.Terms(func(tm kmer.Term, df int) {
+		if df > bestDF {
+			term, bestDF = tm, df
+		}
+	})
+	it, err := got.SkippedReader(term)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !it.SeekGE(0) {
+		t.Error("reloaded skip index cannot seek")
+	}
+}
+
+func intersectNaive(t *testing.T, x *Index, terms []kmer.Term) []int {
+	t.Helper()
+	counts := map[uint32]int{}
+	for _, term := range terms {
+		entries, err := x.Postings(term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			counts[e.ID]++
+		}
+	}
+	var out []int
+	for id, n := range counts {
+		if n == len(terms) {
+			out = append(out, int(id))
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestIntersectTerms(t *testing.T) {
+	s := randomStore(95, 300, 400)
+	for _, opts := range []Options{{K: 4}, {K: 4, SkipInterval: 1}} {
+		idx, err := Build(s, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(96))
+		coder := idx.Coder()
+		for trial := 0; trial < 20; trial++ {
+			nTerms := 2 + rng.Intn(3)
+			terms := make([]kmer.Term, nTerms)
+			for i := range terms {
+				terms[i] = kmer.Term(rng.Intn(int(coder.NumTerms())))
+			}
+			got, err := idx.IntersectTerms(terms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := intersectNaive(t, idx, dedupTerms(terms))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("skip=%d terms=%v: got %v, want %v", opts.SkipInterval, terms, got, want)
+			}
+		}
+		// Degenerate inputs.
+		if got, err := idx.IntersectTerms(nil); err != nil || got != nil {
+			t.Errorf("empty term set: %v, %v", got, err)
+		}
+		missing := kmer.Term(0)
+		found := false
+		for !found {
+			if idx.DF(missing) == 0 {
+				found = true
+			} else {
+				missing++
+			}
+		}
+		if got, err := idx.IntersectTerms([]kmer.Term{missing}); err != nil || len(got) != 0 {
+			t.Errorf("absent term intersection: %v, %v", got, err)
+		}
+	}
+}
+
+// dedupTerms mirrors IntersectTerms' tolerance of duplicates: the
+// naive reference counts a sequence once per distinct term.
+func dedupTerms(terms []kmer.Term) []kmer.Term {
+	seen := map[kmer.Term]bool{}
+	var out []kmer.Term
+	for _, t := range terms {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func TestParallelBuildDeterministic(t *testing.T) {
+	s := randomStore(97, 100, 500)
+	opts := Options{K: 6, StoreOffsets: true}
+	serial := opts
+	serial.Workers = 1
+	parallel := opts
+	parallel.Workers = 8
+
+	a, err := Build(s, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(s, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB bytes.Buffer
+	if err := a.Save(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Save(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Error("serial and parallel builds serialize differently")
+	}
+}

@@ -1,0 +1,144 @@
+package kmer
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"nucleodb/internal/dna"
+)
+
+func TestNewCoderBounds(t *testing.T) {
+	for _, k := range []int{0, -1, MaxK + 1} {
+		if _, err := NewCoder(k); err == nil {
+			t.Errorf("NewCoder(%d) accepted", k)
+		}
+	}
+	for _, k := range []int{1, 8, MaxK} {
+		if _, err := NewCoder(k); err != nil {
+			t.Errorf("NewCoder(%d): %v", k, err)
+		}
+	}
+}
+
+func TestEncodeDecodeTerm(t *testing.T) {
+	c := MustCoder(4)
+	for _, s := range []string{"AAAA", "ACGT", "TTTT", "GGCC"} {
+		term := c.Encode(dna.MustEncode(s))
+		if got := c.String(term); got != s {
+			t.Errorf("term round trip %s = %s", s, got)
+		}
+	}
+}
+
+func TestEncodeOrderMatchesStringOrder(t *testing.T) {
+	c := MustCoder(3)
+	if c.Encode(dna.MustEncode("AAA")) >= c.Encode(dna.MustEncode("AAC")) {
+		t.Error("AAA term not less than AAC")
+	}
+	if c.Encode(dna.MustEncode("ACG")) >= c.Encode(dna.MustEncode("CAA")) {
+		t.Error("ACG term not less than CAA")
+	}
+}
+
+func TestEncodeCanonicalisesWildcards(t *testing.T) {
+	c := MustCoder(4)
+	// N canonicalises to A.
+	if c.Encode(dna.MustEncode("ANGT")) != c.Encode(dna.MustEncode("AAGT")) {
+		t.Error("wildcard canonicalisation mismatch")
+	}
+}
+
+func TestExtract(t *testing.T) {
+	c := MustCoder(3)
+	seq := dna.MustEncode("ACGTA")
+	terms := c.Extract(nil, seq)
+	want := []Term{
+		c.Encode(dna.MustEncode("ACG")),
+		c.Encode(dna.MustEncode("CGT")),
+		c.Encode(dna.MustEncode("GTA")),
+	}
+	if !reflect.DeepEqual(terms, want) {
+		t.Errorf("Extract = %v, want %v", terms, want)
+	}
+}
+
+func TestExtractShortSequence(t *testing.T) {
+	c := MustCoder(5)
+	if got := c.Extract(nil, dna.MustEncode("ACGT")); len(got) != 0 {
+		t.Errorf("Extract on short sequence = %v", got)
+	}
+	c.ExtractFunc(dna.MustEncode("ACGT"), func(int, Term) {
+		t.Error("ExtractFunc callback on short sequence")
+	})
+}
+
+func TestExtractFuncPositions(t *testing.T) {
+	c := MustCoder(2)
+	seq := dna.MustEncode("ACGT")
+	var positions []int
+	var terms []Term
+	c.ExtractFunc(seq, func(pos int, tm Term) {
+		positions = append(positions, pos)
+		terms = append(terms, tm)
+	})
+	if !reflect.DeepEqual(positions, []int{0, 1, 2}) {
+		t.Errorf("positions = %v", positions)
+	}
+	if !reflect.DeepEqual(terms, c.Extract(nil, seq)) {
+		t.Errorf("ExtractFunc terms disagree with Extract")
+	}
+}
+
+func TestExtractMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, k := range []int{1, 2, 3, 8, 12} {
+		c := MustCoder(k)
+		seq := make([]byte, 200)
+		for i := range seq {
+			seq[i] = byte(rng.Intn(dna.NumBases))
+		}
+		rolling := c.Extract(nil, seq)
+		var naive []Term
+		for i := 0; i+k <= len(seq); i++ {
+			naive = append(naive, c.Encode(seq[i:i+k]))
+		}
+		if !reflect.DeepEqual(rolling, naive) {
+			t.Errorf("k=%d rolling extraction disagrees with naive", k)
+		}
+	}
+}
+
+func TestNumIntervals(t *testing.T) {
+	c := MustCoder(9)
+	cases := map[int]int{0: 0, 8: 0, 9: 1, 10: 2, 100: 92}
+	for length, want := range cases {
+		if got := c.NumIntervals(length); got != want {
+			t.Errorf("NumIntervals(%d) = %d, want %d", length, got, want)
+		}
+	}
+}
+
+func TestNumTerms(t *testing.T) {
+	if got := MustCoder(3).NumTerms(); got != 64 {
+		t.Errorf("NumTerms(3) = %d, want 64", got)
+	}
+}
+
+func TestPropertyTermRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(kseed uint8) bool {
+		k := 1 + int(kseed)%MaxK
+		c := MustCoder(k)
+		seq := make([]byte, k)
+		for i := range seq {
+			seq[i] = byte(rng.Intn(dna.NumBases))
+		}
+		term := c.Encode(seq)
+		return reflect.DeepEqual(c.Decode(term), seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+package kmer
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"nucleodb/internal/dna"
+)
+
+func TestNewSpacedCoderValidation(t *testing.T) {
+	bad := []string{
+		"",
+		"0",
+		"01",
+		"10",
+		"1x1",
+		"11111111111111111", // weight 17 > MaxK
+	}
+	for _, mask := range bad {
+		if _, err := NewSpacedCoder(mask); err == nil {
+			t.Errorf("mask %q accepted", mask)
+		}
+	}
+	good := []string{"1", "11", "101", "1110100101", "111010010100110111"}
+	for _, mask := range good {
+		c, err := NewSpacedCoder(mask)
+		if err != nil {
+			t.Errorf("mask %q rejected: %v", mask, err)
+			continue
+		}
+		if c.Mask() != mask {
+			t.Errorf("mask round trip %q → %q", mask, c.Mask())
+		}
+		if c.Span() != len(mask) {
+			t.Errorf("mask %q span = %d", mask, c.Span())
+		}
+	}
+}
+
+func TestAllOnesMaskEqualsContiguous(t *testing.T) {
+	spaced, err := NewSpacedCoder("11111")
+	if err != nil {
+		t.Fatal(err)
+	}
+	contiguous := MustCoder(5)
+	if spaced.Spaced() {
+		t.Error("all-ones mask marked spaced")
+	}
+	rng := rand.New(rand.NewSource(201))
+	seq := make([]byte, 100)
+	for i := range seq {
+		seq[i] = byte(rng.Intn(dna.NumBases))
+	}
+	a := spaced.Extract(nil, seq)
+	b := contiguous.Extract(nil, seq)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("all-ones mask extraction differs from contiguous")
+	}
+}
+
+func TestSpacedEncodeSamplesMaskPositions(t *testing.T) {
+	c, err := NewSpacedCoder("101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 2 || c.Span() != 3 {
+		t.Fatalf("weight/span = %d/%d", c.K(), c.Span())
+	}
+	// ACG samples A and G; the middle C is ignored.
+	got := c.Encode(dna.MustEncode("ACG"))
+	want := MustCoder(2).Encode(dna.MustEncode("AG"))
+	if got != want {
+		t.Errorf("Encode(ACG) = %v, want %v", got, want)
+	}
+	// Changing the ignored position does not change the term.
+	if c.Encode(dna.MustEncode("ATG")) != got {
+		t.Error("ignored position affected the term")
+	}
+	// Changing a sampled position does.
+	if c.Encode(dna.MustEncode("CCG")) == got {
+		t.Error("sampled position did not affect the term")
+	}
+}
+
+func TestSpacedExtractPositions(t *testing.T) {
+	c, err := NewSpacedCoder("1001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := dna.MustEncode("ACGTAC")
+	var positions []int
+	var terms []Term
+	c.ExtractFunc(seq, func(pos int, tm Term) {
+		positions = append(positions, pos)
+		terms = append(terms, tm)
+	})
+	if !reflect.DeepEqual(positions, []int{0, 1, 2}) {
+		t.Errorf("positions = %v", positions)
+	}
+	// Window at 0 is ACGT sampling A,T.
+	if terms[0] != MustCoder(2).Encode(dna.MustEncode("AT")) {
+		t.Errorf("term 0 wrong")
+	}
+	// Short sequences yield nothing.
+	if got := c.Extract(nil, dna.MustEncode("ACG")); len(got) != 0 {
+		t.Errorf("short sequence extracted %v", got)
+	}
+}
+
+func TestSpacedSeedSensitivity(t *testing.T) {
+	// The PatternHunter claim, at seed level: for homologous regions at
+	// substantial divergence, a spaced seed of equal weight hits (≥1
+	// surviving shared seed) more often than the contiguous seed.
+	rng := rand.New(rand.NewSource(202))
+	contiguous := MustCoder(11)
+	spaced, err := NewSpacedCoder("111010010100110111") // PatternHunter weight-11 mask
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 400
+	const regionLen = 64
+	const divergence = 0.15
+	hitRate := func(c *Coder) float64 {
+		hits := 0
+		for trial := 0; trial < trials; trial++ {
+			local := rand.New(rand.NewSource(int64(trial)*7919 + 13))
+			a := make([]byte, regionLen)
+			for i := range a {
+				a[i] = byte(local.Intn(dna.NumBases))
+			}
+			b := append([]byte{}, a...)
+			for i := range b {
+				if local.Float64() < divergence {
+					nb := byte(local.Intn(dna.NumBases - 1))
+					if nb >= b[i] {
+						nb++
+					}
+					b[i] = nb
+				}
+			}
+			aTerms := map[Term][]int{}
+			c.ExtractFunc(a, func(pos int, tm Term) { aTerms[tm] = append(aTerms[tm], pos) })
+			hit := false
+			c.ExtractFunc(b, func(pos int, tm Term) {
+				// A true homologous hit sits on the zero diagonal.
+				for _, ap := range aTerms[tm] {
+					if ap == pos {
+						hit = true
+					}
+				}
+			})
+			if hit {
+				hits++
+			}
+		}
+		return float64(hits) / trials
+	}
+	rc := hitRate(contiguous)
+	rs := hitRate(spaced)
+	_ = rng
+	if rs <= rc {
+		t.Errorf("spaced sensitivity %.3f not above contiguous %.3f at %.0f%% divergence",
+			rs, rc, divergence*100)
+	}
+}

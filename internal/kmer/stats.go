@@ -1,0 +1,84 @@
+package kmer
+
+import "sort"
+
+// Stats accumulates collection-level interval frequencies. The index
+// builder uses it to size posting lists, and index stopping uses it to
+// find the most frequent intervals to discard.
+type Stats struct {
+	coder *Coder
+	count []uint32 // occurrences per term; 4^k entries
+	total uint64
+}
+
+type statsEntry struct {
+	Term  Term
+	Count uint32
+}
+
+// NewStats returns a zeroed accumulator over the coder's vocabulary.
+// Memory is 4 bytes × 4^k, so interval lengths up to about 13 are
+// practical for in-memory statistics.
+func NewStats(c *Coder) *Stats {
+	return &Stats{coder: c, count: make([]uint32, c.NumTerms())}
+}
+
+// Add accumulates every interval of the sequence.
+func (s *Stats) Add(codes []byte) {
+	s.coder.ExtractFunc(codes, func(_ int, t Term) {
+		s.count[t]++
+		s.total++
+	})
+}
+
+// Count returns the number of occurrences of term t.
+func (s *Stats) Count(t Term) uint32 { return s.count[t] }
+
+// Total returns the total number of interval occurrences accumulated.
+func (s *Stats) Total() uint64 { return s.total }
+
+// Distinct returns the number of distinct terms seen at least once.
+func (s *Stats) Distinct() int {
+	n := 0
+	for _, c := range s.count {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TopFraction returns the set of the most frequent terms whose combined
+// occurrence mass is smallest while covering at least the given fraction
+// of terms by count rank — i.e. the top f of distinct terms by
+// frequency. It is the stopping set: the index discards these terms.
+// The fraction is of distinct terms, clamped to [0,1].
+func (s *Stats) TopFraction(f float64) map[Term]bool {
+	if f <= 0 {
+		return map[Term]bool{}
+	}
+	if f > 1 {
+		f = 1
+	}
+	entries := make([]statsEntry, 0, 1024)
+	for t, c := range s.count {
+		if c > 0 {
+			entries = append(entries, statsEntry{Term(t), c})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Term < entries[j].Term
+	})
+	n := int(f * float64(len(entries)))
+	if n == 0 && f > 0 && len(entries) > 0 {
+		n = 1
+	}
+	stop := make(map[Term]bool, n)
+	for _, e := range entries[:n] {
+		stop[e.Term] = true
+	}
+	return stop
+}

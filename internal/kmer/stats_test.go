@@ -1,0 +1,72 @@
+package kmer
+
+import (
+	"testing"
+
+	"nucleodb/internal/dna"
+)
+
+func TestStatsCounts(t *testing.T) {
+	c := MustCoder(2)
+	s := NewStats(c)
+	s.Add(dna.MustEncode("AAAA")) // AA ×3
+	s.Add(dna.MustEncode("ACAC")) // AC, CA, AC
+
+	if got := s.Count(c.Encode(dna.MustEncode("AA"))); got != 3 {
+		t.Errorf("count(AA) = %d, want 3", got)
+	}
+	if got := s.Count(c.Encode(dna.MustEncode("AC"))); got != 2 {
+		t.Errorf("count(AC) = %d, want 2", got)
+	}
+	if got := s.Count(c.Encode(dna.MustEncode("GG"))); got != 0 {
+		t.Errorf("count(GG) = %d, want 0", got)
+	}
+	if s.Total() != 6 {
+		t.Errorf("total = %d, want 6", s.Total())
+	}
+	if s.Distinct() != 3 {
+		t.Errorf("distinct = %d, want 3", s.Distinct())
+	}
+}
+
+func TestTopFraction(t *testing.T) {
+	c := MustCoder(2)
+	s := NewStats(c)
+	s.Add(dna.MustEncode("AAAAAAAA")) // AA ×7 — the clear top term
+	s.Add(dna.MustEncode("ACGT"))     // AC, CG, GT once each
+
+	stop := s.TopFraction(0.25) // 1 of 4 distinct terms
+	if len(stop) != 1 {
+		t.Fatalf("stop set size = %d, want 1", len(stop))
+	}
+	if !stop[c.Encode(dna.MustEncode("AA"))] {
+		t.Error("top term is not AA")
+	}
+
+	if got := s.TopFraction(0); len(got) != 0 {
+		t.Errorf("TopFraction(0) = %v", got)
+	}
+	if got := s.TopFraction(1); len(got) != 4 {
+		t.Errorf("TopFraction(1) size = %d, want 4", len(got))
+	}
+	if got := s.TopFraction(2); len(got) != 4 { // clamped
+		t.Errorf("TopFraction(2) size = %d, want 4", len(got))
+	}
+}
+
+func TestTopFractionTinyNonZero(t *testing.T) {
+	c := MustCoder(2)
+	s := NewStats(c)
+	s.Add(dna.MustEncode("ACGT"))
+	// A tiny positive fraction still stops at least one term.
+	if got := s.TopFraction(1e-9); len(got) != 1 {
+		t.Errorf("TopFraction(ε) size = %d, want 1", len(got))
+	}
+}
+
+func TestTopFractionEmptyStats(t *testing.T) {
+	s := NewStats(MustCoder(2))
+	if got := s.TopFraction(0.5); len(got) != 0 {
+		t.Errorf("TopFraction on empty stats = %v", got)
+	}
+}

@@ -1,0 +1,203 @@
+// Package postings implements compressed inverted lists: for one
+// interval term, the ascending list of sequence identifiers containing
+// it, each with an occurrence count and optionally the in-sequence
+// offsets of the occurrences.
+//
+// The encoding follows the paper's inverted-file compression recipe:
+// identifier gaps are Golomb-coded with the parameter derived from list
+// density (universe = number of sequences, occurrences = document
+// frequency), occurrence counts are Elias-gamma coded, and offset gaps
+// are Elias-gamma coded. The document frequency itself lives in the
+// lexicon, so a list is decodable given (document frequency, number of
+// sequences, whether offsets are present).
+package postings
+
+import (
+	"fmt"
+	"sort"
+
+	"nucleodb/internal/compress"
+)
+
+// Entry is one posting: a sequence id, the number of occurrences of the
+// term in that sequence, and optionally the ascending offsets of those
+// occurrences. When offsets are stored, Count == len(Offsets).
+type Entry struct {
+	ID      uint32
+	Count   uint32
+	Offsets []uint32
+}
+
+// Encode compresses entries into a byte buffer. Entries must be in
+// strictly ascending ID order; numSeqs is the identifier universe size
+// (all IDs < numSeqs); withOffsets selects whether offsets are encoded.
+func Encode(entries []Entry, numSeqs int, withOffsets bool) ([]byte, error) {
+	if err := validate(entries, numSeqs, withOffsets); err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	b := compress.GolombParameter(uint64(numSeqs), uint64(len(entries)))
+	w := compress.NewBitWriter(len(entries) * 2)
+	prev := int64(-1)
+	for _, e := range entries {
+		compress.PutGolomb(w, uint64(int64(e.ID)-prev), b)
+		prev = int64(e.ID)
+		compress.PutGamma(w, uint64(e.Count))
+		if withOffsets {
+			prevOff := int64(-1)
+			for _, off := range e.Offsets {
+				compress.PutGamma(w, uint64(int64(off)-prevOff))
+				prevOff = int64(off)
+			}
+		}
+	}
+	return w.Bytes(), nil
+}
+
+func validate(entries []Entry, numSeqs int, withOffsets bool) error {
+	if numSeqs <= 0 && len(entries) > 0 {
+		return fmt.Errorf("postings: numSeqs %d with %d entries", numSeqs, len(entries))
+	}
+	prev := int64(-1)
+	for i, e := range entries {
+		if int64(e.ID) <= prev {
+			return fmt.Errorf("postings: entry %d id %d not ascending after %d", i, e.ID, prev)
+		}
+		prev = int64(e.ID)
+		if int(e.ID) >= numSeqs {
+			return fmt.Errorf("postings: entry %d id %d outside universe %d", i, e.ID, numSeqs)
+		}
+		if e.Count == 0 {
+			return fmt.Errorf("postings: entry %d has zero count", i)
+		}
+		if withOffsets {
+			if int(e.Count) != len(e.Offsets) {
+				return fmt.Errorf("postings: entry %d count %d != %d offsets", i, e.Count, len(e.Offsets))
+			}
+			if !sort.SliceIsSorted(e.Offsets, func(a, b int) bool { return e.Offsets[a] < e.Offsets[b] }) {
+				return fmt.Errorf("postings: entry %d offsets not ascending", i)
+			}
+			for j := 1; j < len(e.Offsets); j++ {
+				if e.Offsets[j] == e.Offsets[j-1] {
+					return fmt.Errorf("postings: entry %d duplicate offset %d", i, e.Offsets[j])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Decode expands a compressed list. df is the entry count recorded in
+// the lexicon; numSeqs and withOffsets must match the encoding call.
+func Decode(buf []byte, df, numSeqs int, withOffsets bool) ([]Entry, error) {
+	if df == 0 {
+		return nil, nil
+	}
+	entries := make([]Entry, 0, df)
+	var it Iterator
+	it.Reset(buf, df, numSeqs, withOffsets)
+	for it.Next() {
+		e := it.Entry()
+		if withOffsets {
+			offs := make([]uint32, len(e.Offsets))
+			copy(offs, e.Offsets)
+			e.Offsets = offs
+		}
+		entries = append(entries, e)
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// Iterator streams a compressed list without allocating per entry; the
+// coarse-search hot path uses it directly. The Offsets slice returned by
+// Entry is reused between calls to Next.
+type Iterator struct {
+	r           compress.BitReader
+	b           uint64 // golomb parameter
+	df          int
+	read        int
+	withOffsets bool
+	prev        int64 // last absolute id decoded, -1 before the first
+	cur         Entry
+	offsets     []uint32
+	err         error
+}
+
+// Reset prepares the iterator over a compressed list with the given
+// document frequency and universe.
+func (it *Iterator) Reset(buf []byte, df, numSeqs int, withOffsets bool) {
+	it.r.Reset(buf)
+	it.df = df
+	it.read = 0
+	it.withOffsets = withOffsets
+	it.cur = Entry{}
+	it.err = nil
+	if df > 0 {
+		it.b = compress.GolombParameter(uint64(numSeqs), uint64(df))
+	}
+	it.prev = -1
+}
+
+// Next advances to the next entry, returning false at the end of the
+// list or on error; check Err afterwards.
+func (it *Iterator) Next() bool {
+	if it.err != nil || it.read >= it.df {
+		return false
+	}
+	gap, err := compress.GetGolomb(&it.r, it.b)
+	if err != nil {
+		it.err = fmt.Errorf("postings: entry %d id: %w", it.read, err)
+		return false
+	}
+	id := it.prev + int64(gap)
+	it.prev = id
+	count, err := compress.GetGamma(&it.r)
+	if err != nil {
+		it.err = fmt.Errorf("postings: entry %d count: %w", it.read, err)
+		return false
+	}
+	if count == 0 || count > 1<<31 {
+		it.err = fmt.Errorf("postings: entry %d implausible count %d", it.read, count)
+		return false
+	}
+	it.cur = Entry{ID: uint32(id), Count: uint32(count)}
+	if it.withOffsets {
+		it.offsets = it.offsets[:0]
+		prevOff := int64(-1)
+		for j := uint64(0); j < count; j++ {
+			og, err := compress.GetGamma(&it.r)
+			if err != nil {
+				it.err = fmt.Errorf("postings: entry %d offset %d: %w", it.read, j, err)
+				return false
+			}
+			prevOff += int64(og)
+			it.offsets = append(it.offsets, uint32(prevOff))
+		}
+		it.cur.Offsets = it.offsets
+	}
+	it.read++
+	return true
+}
+
+// Entry returns the current entry. Valid after Next returns true; the
+// Offsets slice is reused by subsequent Next calls.
+func (it *Iterator) Entry() Entry { return it.cur }
+
+// skipBits discards n leading bits; the skip machinery uses it to
+// resynchronise an iterator at a mid-byte synchronisation point.
+func (it *Iterator) skipBits(n uint) {
+	if n == 0 || it.err != nil {
+		return
+	}
+	if _, err := it.r.ReadBits(n); err != nil {
+		it.err = fmt.Errorf("postings: skip alignment: %w", err)
+	}
+}
+
+// Err returns the first decoding error encountered, if any.
+func (it *Iterator) Err() error { return it.err }

@@ -1,0 +1,243 @@
+package postings
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func ids(entries []Entry) []uint32 {
+	out := make([]uint32, len(entries))
+	for i, e := range entries {
+		out[i] = e.ID
+	}
+	return out
+}
+
+func TestEncodeDecodeNoOffsets(t *testing.T) {
+	entries := []Entry{
+		{ID: 0, Count: 3},
+		{ID: 5, Count: 1},
+		{ID: 6, Count: 12},
+		{ID: 999, Count: 2},
+	}
+	buf, err := Encode(entries, 1000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf, len(entries), 1000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, entries) {
+		t.Errorf("round trip = %+v, want %+v", got, entries)
+	}
+}
+
+func TestEncodeDecodeWithOffsets(t *testing.T) {
+	entries := []Entry{
+		{ID: 2, Count: 3, Offsets: []uint32{0, 7, 100}},
+		{ID: 3, Count: 1, Offsets: []uint32{55}},
+		{ID: 40, Count: 2, Offsets: []uint32{1, 2}},
+	}
+	buf, err := Encode(entries, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf, len(entries), 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, entries) {
+		t.Errorf("round trip = %+v, want %+v", got, entries)
+	}
+}
+
+func TestEncodeEmpty(t *testing.T) {
+	buf, err := Encode(nil, 100, true)
+	if err != nil || buf != nil {
+		t.Fatalf("Encode(nil) = %v, %v", buf, err)
+	}
+	got, err := Decode(nil, 0, 100, true)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Decode empty = %v, %v", got, err)
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	cases := []struct {
+		name        string
+		entries     []Entry
+		numSeqs     int
+		withOffsets bool
+	}{
+		{"descending ids", []Entry{{ID: 5, Count: 1}, {ID: 4, Count: 1}}, 10, false},
+		{"duplicate ids", []Entry{{ID: 5, Count: 1}, {ID: 5, Count: 1}}, 10, false},
+		{"id outside universe", []Entry{{ID: 10, Count: 1}}, 10, false},
+		{"zero count", []Entry{{ID: 1, Count: 0}}, 10, false},
+		{"count/offsets mismatch", []Entry{{ID: 1, Count: 2, Offsets: []uint32{3}}}, 10, true},
+		{"unsorted offsets", []Entry{{ID: 1, Count: 2, Offsets: []uint32{5, 3}}}, 10, true},
+		{"duplicate offsets", []Entry{{ID: 1, Count: 2, Offsets: []uint32{3, 3}}}, 10, true},
+	}
+	for _, c := range cases {
+		if _, err := Encode(c.entries, c.numSeqs, c.withOffsets); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestIteratorStreams(t *testing.T) {
+	entries := []Entry{
+		{ID: 1, Count: 2, Offsets: []uint32{10, 20}},
+		{ID: 9, Count: 1, Offsets: []uint32{0}},
+	}
+	buf, err := Encode(entries, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var it Iterator
+	it.Reset(buf, len(entries), 16, true)
+	var got []Entry
+	for it.Next() {
+		e := it.Entry()
+		offs := append([]uint32(nil), e.Offsets...)
+		e.Offsets = offs
+		got = append(got, e)
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if !reflect.DeepEqual(got, entries) {
+		t.Errorf("iterator = %+v, want %+v", got, entries)
+	}
+	if it.Next() {
+		t.Error("Next returned true after exhaustion")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	entries := []Entry{{ID: 1, Count: 5}, {ID: 100, Count: 9}, {ID: 5000, Count: 1}}
+	buf, err := Encode(entries, 10000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(buf[:1], len(entries), 10000, false); err == nil {
+		t.Error("decoded from truncated buffer")
+	}
+}
+
+func TestDecodeWrongDF(t *testing.T) {
+	entries := []Entry{{ID: 1, Count: 1}, {ID: 2, Count: 1}}
+	buf, err := Encode(entries, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Asking for fewer entries silently stops early (the lexicon is the
+	// source of truth); asking for many more must eventually error on
+	// padding exhaustion rather than loop forever.
+	got, err := Decode(buf, 1, 100, false)
+	if err != nil || len(got) != 1 {
+		t.Errorf("short decode = %v, %v", got, err)
+	}
+	if _, err := Decode(buf, 1000, 100, false); err == nil {
+		t.Log("over-long decode succeeded on zero padding; acceptable only if ids stay plausible")
+	}
+}
+
+func TestIteratorReuse(t *testing.T) {
+	a := []Entry{{ID: 1, Count: 1}}
+	b := []Entry{{ID: 7, Count: 2}}
+	bufA, _ := Encode(a, 10, false)
+	bufB, _ := Encode(b, 10, false)
+	var it Iterator
+	it.Reset(bufA, 1, 10, false)
+	if !it.Next() || it.Entry().ID != 1 {
+		t.Fatal("first list")
+	}
+	it.Reset(bufB, 1, 10, false)
+	if !it.Next() || it.Entry().ID != 7 || it.Entry().Count != 2 {
+		t.Fatal("second list after reuse")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64, withOffsets bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numSeqs := 1 + rng.Intn(10000)
+		df := rng.Intn(numSeqs)
+		idSet := map[uint32]bool{}
+		for len(idSet) < df {
+			idSet[uint32(rng.Intn(numSeqs))] = true
+		}
+		entries := make([]Entry, 0, df)
+		for id := range idSet {
+			entries = append(entries, Entry{ID: id})
+		}
+		sortEntries(entries)
+		for i := range entries {
+			n := 1 + rng.Intn(5)
+			entries[i].Count = uint32(n)
+			if withOffsets {
+				offs := map[uint32]bool{}
+				for len(offs) < n {
+					offs[uint32(rng.Intn(100000))] = true
+				}
+				for o := range offs {
+					entries[i].Offsets = append(entries[i].Offsets, o)
+				}
+				sortOffsets(entries[i].Offsets)
+			}
+		}
+		buf, err := Encode(entries, numSeqs, withOffsets)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf, df, numSeqs, withOffsets)
+		if err != nil {
+			return false
+		}
+		if len(got) == 0 && len(entries) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, entries)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortEntries(entries []Entry) {
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && entries[j].ID < entries[j-1].ID; j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
+	}
+}
+
+func sortOffsets(offs []uint32) {
+	for i := 1; i < len(offs); i++ {
+		for j := i; j > 0 && offs[j] < offs[j-1]; j-- {
+			offs[j], offs[j-1] = offs[j-1], offs[j]
+		}
+	}
+}
+
+func TestCompressionEffective(t *testing.T) {
+	// A dense list over a large universe must compress far below the
+	// 8 bytes/posting of a naive representation.
+	rng := rand.New(rand.NewSource(12))
+	const numSeqs = 100000
+	var entries []Entry
+	for id := 0; id < numSeqs; id += 1 + rng.Intn(20) {
+		entries = append(entries, Entry{ID: uint32(id), Count: 1})
+	}
+	buf, err := Encode(entries, numSeqs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytesPerPosting := float64(len(buf)) / float64(len(entries))
+	if bytesPerPosting > 2 {
+		t.Errorf("%.2f bytes/posting, want ≤ 2", bytesPerPosting)
+	}
+}

@@ -1,0 +1,563 @@
+// Package nucleodb is a nucleotide database engine with partitioned
+// (coarse/fine) query evaluation, a Go reproduction of Williams &
+// Zobel, "Indexing Nucleotide Databases for Fast Query Evaluation"
+// (EDBT 1996) — the design later released as the CAFE system.
+//
+// A query is a DNA sequence; answers are database sequences with a
+// high-quality local alignment to the query. Instead of exhaustively
+// aligning the query against every sequence, the engine first ranks
+// sequences with an inverted index of fixed-length substrings
+// (intervals) and then runs local alignment only on the top-ranked
+// candidates:
+//
+//	db, _ := nucleodb.Build(records, nucleodb.DefaultBuildConfig())
+//	results, _ := db.Search("ACGTTGCA...", nucleodb.DefaultSearchOptions())
+//	for _, r := range results {
+//	    fmt.Println(r.Desc, r.Score)
+//	}
+//
+// Sequences are stored compressed (direct coding: 2 bits per base plus
+// a wildcard exception list) and posting lists are Golomb/Elias coded,
+// so the whole database is a fraction of the FASTA input's size.
+package nucleodb
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"nucleodb/internal/align"
+	"nucleodb/internal/core"
+	"nucleodb/internal/db"
+	"nucleodb/internal/dna"
+	"nucleodb/internal/index"
+	"nucleodb/internal/stats"
+)
+
+// Record is one database entry: a description line and its nucleotide
+// sequence as IUPAC letters (either case; 'U' is accepted as 'T').
+type Record struct {
+	Desc     string
+	Sequence string
+}
+
+// BuildConfig controls database construction.
+type BuildConfig struct {
+	// IntervalLength is the indexed substring length, 1–12. Shorter
+	// intervals give denser posting lists; longer intervals give a
+	// larger lexicon. The experiments centre on 8–10.
+	IntervalLength int
+	// StoreOffsets keeps occurrence offsets in the index, enabling the
+	// diagonal coarse ranking at some index-size cost.
+	StoreOffsets bool
+	// StopFraction discards this fraction of the most frequent
+	// intervals from the index (index stopping). 0 disables.
+	StopFraction float64
+	// SpacedMask, when non-empty, indexes spaced seeds instead of
+	// contiguous intervals: the '1' positions of the mask (e.g.
+	// "111010010100110111", PatternHunter's weight-11 shape) are
+	// sampled from each window. IntervalLength is then ignored. Spaced
+	// seeds markedly improve sensitivity to diverged homologies at
+	// equal vocabulary size.
+	SpacedMask string
+	// SkipInterval stores posting-list synchronisation points every
+	// this many entries (self-indexing), enabling seek-based
+	// conjunctive processing at a small size cost; 1 selects the √df
+	// heuristic per list, 0 stores plain lists.
+	SkipInterval int
+	// Workers bounds build parallelism (0 = all CPUs). The built
+	// database is identical at any setting.
+	Workers int
+	// Scoring sets the alignment parameters used by searches.
+	Scoring Scoring
+}
+
+// Scoring mirrors the local-alignment parameters: Match is a positive
+// score, the others are non-negative penalties; a gap of length L costs
+// GapOpen + L·GapExtend.
+type Scoring struct {
+	Match     int
+	Mismatch  int
+	GapOpen   int
+	GapExtend int
+}
+
+func (s Scoring) internal() align.Scoring {
+	return align.Scoring{Match: s.Match, Mismatch: s.Mismatch, GapOpen: s.GapOpen, GapExtend: s.GapExtend}
+}
+
+// DefaultScoring returns the classic +5/−4 nucleotide parameters with
+// affine gaps.
+func DefaultScoring() Scoring {
+	d := align.DefaultScoring()
+	return Scoring{Match: d.Match, Mismatch: d.Mismatch, GapOpen: d.GapOpen, GapExtend: d.GapExtend}
+}
+
+// DefaultBuildConfig returns the configuration used by the paper's
+// headline experiments: 9-base intervals with offsets, no stopping.
+func DefaultBuildConfig() BuildConfig {
+	return BuildConfig{
+		IntervalLength: 9,
+		StoreOffsets:   true,
+		Scoring:        DefaultScoring(),
+	}
+}
+
+// Database couples a compressed sequence store with its interval index
+// and evaluates partitioned queries. It is safe for concurrent Search
+// calls.
+type Database struct {
+	store *db.Store
+	idx   *index.Index
+
+	mu       sync.Mutex
+	searcher *core.Searcher
+	scoring  align.Scoring
+
+	statsOnce sync.Once
+	statsP    stats.Params
+	statsErr  error
+}
+
+// Build constructs a database from records.
+func Build(records []Record, cfg BuildConfig) (*Database, error) {
+	var store db.Store
+	for i, r := range records {
+		codes, err := dna.Encode([]byte(r.Sequence))
+		if err != nil {
+			return nil, fmt.Errorf("nucleodb: record %d (%q): %w", i, r.Desc, err)
+		}
+		store.Add(r.Desc, codes)
+	}
+	return buildFromStore(&store, cfg)
+}
+
+// BuildFromFasta constructs a database from FASTA-format input,
+// streaming records into the compressed store as they parse (peak
+// memory is one record plus the store, not the whole text).
+func BuildFromFasta(r io.Reader, cfg BuildConfig) (*Database, error) {
+	fr := dna.NewFastaReader(r)
+	var store db.Store
+	for {
+		rec, err := fr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("nucleodb: %w", err)
+		}
+		store.Add(rec.Desc, rec.Codes)
+	}
+	return buildFromStore(&store, cfg)
+}
+
+func buildFromStore(store *db.Store, cfg BuildConfig) (*Database, error) {
+	idx, err := index.Build(store, index.Options{
+		K:            cfg.IntervalLength,
+		SpacedMask:   cfg.SpacedMask,
+		StoreOffsets: cfg.StoreOffsets,
+		StopFraction: cfg.StopFraction,
+		SkipInterval: cfg.SkipInterval,
+		Workers:      cfg.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("nucleodb: %w", err)
+	}
+	return newDatabase(store, idx, cfg.Scoring)
+}
+
+func newDatabase(store *db.Store, idx *index.Index, scoring Scoring) (*Database, error) {
+	s := scoring.internal()
+	searcher, err := core.NewSearcher(idx, store, s)
+	if err != nil {
+		return nil, fmt.Errorf("nucleodb: %w", err)
+	}
+	return &Database{store: store, idx: idx, searcher: searcher, scoring: s}, nil
+}
+
+// File names used inside a saved database directory.
+const (
+	storeFile = "sequences.ndb"
+	indexFile = "intervals.ndx"
+)
+
+// Save writes the database into directory dir, creating it if needed.
+func (d *Database) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("nucleodb: save: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(dir, storeFile), d.store.Save); err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(dir, indexFile), d.idx.Save)
+}
+
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("nucleodb: save: %w", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("nucleodb: save %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("nucleodb: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("nucleodb: save: %w", err)
+	}
+	return nil
+}
+
+// Open loads a database saved with Save. Scoring is not persisted;
+// pass the scheme searches should use (DefaultScoring for the usual
+// parameters).
+func Open(dir string, scoring Scoring) (*Database, error) {
+	sf, err := os.Open(filepath.Join(dir, storeFile))
+	if err != nil {
+		return nil, fmt.Errorf("nucleodb: open: %w", err)
+	}
+	defer sf.Close()
+	store, err := db.Load(sf)
+	if err != nil {
+		return nil, fmt.Errorf("nucleodb: open: %w", err)
+	}
+	xf, err := os.Open(filepath.Join(dir, indexFile))
+	if err != nil {
+		return nil, fmt.Errorf("nucleodb: open: %w", err)
+	}
+	defer xf.Close()
+	idx, err := index.Load(xf)
+	if err != nil {
+		return nil, fmt.Errorf("nucleodb: open: %w", err)
+	}
+	return newDatabase(store, idx, scoring)
+}
+
+// OpenPaged opens a saved database with the index in paged (on-disk)
+// mode: the lexicon loads into memory but posting lists are read from
+// disk per query — the operating regime for collections larger than
+// memory, and the regime the original system was designed for. Call
+// Close when done. Save and Append are unsupported on a paged
+// database.
+func OpenPaged(dir string, scoring Scoring) (*Database, error) {
+	sf, err := os.Open(filepath.Join(dir, storeFile))
+	if err != nil {
+		return nil, fmt.Errorf("nucleodb: open: %w", err)
+	}
+	defer sf.Close()
+	store, err := db.Load(sf)
+	if err != nil {
+		return nil, fmt.Errorf("nucleodb: open: %w", err)
+	}
+	idx, err := index.OpenDisk(filepath.Join(dir, indexFile))
+	if err != nil {
+		return nil, fmt.Errorf("nucleodb: open: %w", err)
+	}
+	d, err := newDatabase(store, idx, scoring)
+	if err != nil {
+		idx.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// Close releases resources held by a paged database (see OpenPaged).
+// It is a no-op for in-memory databases.
+func (d *Database) Close() error { return d.idx.Close() }
+
+// SearchOptions controls one query evaluation.
+type SearchOptions struct {
+	// Candidates is the coarse-phase budget: how many top-ranked
+	// sequences receive fine alignment.
+	Candidates int
+	// MinCoarseHits prunes sequences sharing fewer distinct intervals
+	// with the query.
+	MinCoarseHits int
+	// Diagonal selects the FRAMES-style diagonal coarse ranking
+	// (requires a database built with StoreOffsets).
+	Diagonal bool
+	// Exact runs unrestricted Smith–Waterman in the fine phase instead
+	// of the banded aligner: exact scores, higher cost.
+	Exact bool
+	// Band is the banded aligner's half-width when Exact is false.
+	Band int
+	// MinScore discards alignments below this score.
+	MinScore int
+	// Limit truncates the result list; 0 keeps everything.
+	Limit int
+	// BothStrands also searches the query's reverse complement and
+	// reports each sequence's best strand.
+	BothStrands bool
+	// Prescreen, when positive, drops candidates whose ungapped
+	// extension at the best shared interval scores below it, before
+	// fine alignment — the three-phase evaluation of the production
+	// CAFE design. 0 disables.
+	Prescreen int
+	// FineWorkers aligns candidates concurrently in the fine phase
+	// (lower single-query latency on multicore machines); 0 or 1 is
+	// serial. Results are identical at any setting.
+	FineWorkers int
+}
+
+// DefaultSearchOptions returns the settings of the headline
+// experiments: 100 candidates, banded fine phase, top 20 answers.
+func DefaultSearchOptions() SearchOptions {
+	return SearchOptions{
+		Candidates:    100,
+		MinCoarseHits: 2,
+		Band:          24,
+		MinScore:      1,
+		Limit:         20,
+	}
+}
+
+func (o SearchOptions) internal() core.Options {
+	mode := core.CoarseDistinct
+	if o.Diagonal {
+		mode = core.CoarseDiagonal
+	}
+	fine := core.FineBanded
+	if o.Exact {
+		fine = core.FineFull
+	}
+	return core.Options{
+		Candidates:    o.Candidates,
+		MinCoarseHits: o.MinCoarseHits,
+		CoarseMode:    mode,
+		FineMode:      fine,
+		Band:          o.Band,
+		MinScore:      o.MinScore,
+		Limit:         o.Limit,
+		BothStrands:   o.BothStrands,
+		Prescreen:     o.Prescreen,
+		FineWorkers:   o.FineWorkers,
+	}
+}
+
+// Result is one answer to a search.
+type Result struct {
+	// ID is the record's position in the database (insertion order).
+	ID int
+	// Desc is the record's description line.
+	Desc string
+	// Score is the local alignment score under the database's scoring.
+	Score int
+	// Identity is the fraction of matching alignment columns. Both the
+	// default (banded) and Exact fine phases produce transcripts for
+	// reported results, so this is normally populated; it is 0 only
+	// when no transcript exists (e.g. a candidate whose banded
+	// traceback could not reproduce the ranking score).
+	Identity float64
+	// QueryStart/QueryEnd and SubjectStart/SubjectEnd are the
+	// half-open alignment spans, when available. For reverse-strand
+	// matches the query spans refer to the reverse complement.
+	QueryStart, QueryEnd     int
+	SubjectStart, SubjectEnd int
+	// Reverse marks a reverse-complement-strand match (BothStrands
+	// searches only).
+	Reverse bool
+	// Bits is the Karlin–Altschul bit score and EValue the expected
+	// number of chance alignments this good in a database of this
+	// size: the significance measures search tools report. Both are 0
+	// until the first call to Statistics succeeds (Search computes
+	// them automatically).
+	Bits   float64
+	EValue float64
+}
+
+// Search evaluates a query given as IUPAC letters and returns ranked
+// answers.
+func (d *Database) Search(query string, opts SearchOptions) ([]Result, error) {
+	codes, err := dna.Encode([]byte(query))
+	if err != nil {
+		return nil, fmt.Errorf("nucleodb: query: %w", err)
+	}
+	return d.SearchCodes(codes, opts)
+}
+
+// SearchCodes evaluates a query already in internal code form; callers
+// holding dna codes (e.g. from another record) avoid a re-encode.
+func (d *Database) SearchCodes(codes []byte, opts SearchOptions) ([]Result, error) {
+	d.mu.Lock()
+	rs, err := d.searcher.Search(codes, opts.internal())
+	d.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("nucleodb: %w", err)
+	}
+	params, statsErr := d.Statistics()
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = Result{
+			ID:           r.ID,
+			Desc:         d.store.Desc(r.ID),
+			Score:        r.Score,
+			Identity:     r.Alignment.Identity(),
+			QueryStart:   r.Alignment.AStart,
+			QueryEnd:     r.Alignment.AEnd,
+			SubjectStart: r.Alignment.BStart,
+			SubjectEnd:   r.Alignment.BEnd,
+			Reverse:      r.Reverse,
+		}
+		if statsErr == nil {
+			out[i].Bits = params.BitScore(r.Score)
+			out[i].EValue = params.EValue(r.Score, len(codes), d.store.TotalBases())
+		}
+	}
+	return out, nil
+}
+
+// Statistics returns the Karlin–Altschul parameters for the database's
+// scoring scheme, computed on first use by gapped simulation (the
+// search reports gapped scores, so gapped calibration is the honest
+// one; see stats.EstimateGapped). An error means the scoring scheme
+// admits no local alignment statistics (e.g. non-negative expected
+// score); Search then leaves Bits and EValue zero.
+func (d *Database) Statistics() (stats.Params, error) {
+	d.statsOnce.Do(func() {
+		d.statsP, d.statsErr = stats.EstimateGappedCached(d.scoring, stats.Uniform, stats.DefaultEstimateOptions())
+	})
+	return d.statsP, d.statsErr
+}
+
+// Alignment renders the optimal local alignment of a query against one
+// stored record in the conventional three-line blocks, computed in
+// linear space so record length is not a concern:
+//
+//	score 240, identity 96% (48/50), gaps 1
+//	Query      1  ACGTACGT-ACGT ...
+//	              |||| |||  |||
+//	Sbjct     41  ACGTTCGTNACGT ...
+func (d *Database) Alignment(query string, id int) (string, error) {
+	codes, err := dna.Encode([]byte(query))
+	if err != nil {
+		return "", fmt.Errorf("nucleodb: query: %w", err)
+	}
+	if id < 0 || id >= d.store.Len() {
+		return "", fmt.Errorf("nucleodb: record id %d out of range [0,%d)", id, d.store.Len())
+	}
+	subject := d.store.Sequence(id)
+	al := align.LocalLinear(codes, subject, d.scoring)
+	return align.Format(codes, subject, al, 60), nil
+}
+
+// Append adds records to the database incrementally: the new records
+// are indexed as a segment and merged with the existing index, which
+// costs far less than rebuilding when the database is large and the
+// batch small. Stopping decisions are per-segment (the merged stop
+// list is the union); rebuild from scratch to re-stop globally.
+//
+// Append must not run concurrently with Search, SearchBatch or other
+// Append calls.
+func (d *Database) Append(records []Record) error {
+	if d.idx.Disk() {
+		return fmt.Errorf("nucleodb: Append is unsupported on a paged database; rebuild or merge offline with cafe-merge")
+	}
+	var seg db.Store
+	for i, r := range records {
+		codes, err := dna.Encode([]byte(r.Sequence))
+		if err != nil {
+			return fmt.Errorf("nucleodb: record %d (%q): %w", i, r.Desc, err)
+		}
+		seg.Add(r.Desc, codes)
+	}
+	segIdx, err := index.Build(&seg, d.idx.Options())
+	if err != nil {
+		return fmt.Errorf("nucleodb: append: %w", err)
+	}
+	merged, err := index.Merge(d.idx, segIdx)
+	if err != nil {
+		return fmt.Errorf("nucleodb: append: %w", err)
+	}
+	for i := 0; i < seg.Len(); i++ {
+		d.store.Add(seg.Desc(i), seg.Sequence(i))
+	}
+	searcher, err := core.NewSearcher(merged, d.store, d.scoring)
+	if err != nil {
+		return fmt.Errorf("nucleodb: append: %w", err)
+	}
+	d.idx = merged
+	d.searcher = searcher
+	return nil
+}
+
+// HSPs returns up to max high-scoring segment pairs of the query
+// against one record, best-first and pairwise disjoint in the subject
+// — the view search tools give when a query matches a record in
+// several places. Each returned Result carries spans, identity, and
+// significance; minScore prunes noise-level segments.
+func (d *Database) HSPs(query string, id, max, minScore int) ([]Result, error) {
+	codes, err := dna.Encode([]byte(query))
+	if err != nil {
+		return nil, fmt.Errorf("nucleodb: query: %w", err)
+	}
+	if id < 0 || id >= d.store.Len() {
+		return nil, fmt.Errorf("nucleodb: record id %d out of range [0,%d)", id, d.store.Len())
+	}
+	subject := d.store.Sequence(id)
+	params, statsErr := d.Statistics()
+	als := align.LocalAll(codes, subject, d.scoring, minScore, max)
+	out := make([]Result, len(als))
+	for i, al := range als {
+		out[i] = Result{
+			ID:           id,
+			Desc:         d.store.Desc(id),
+			Score:        al.Score,
+			Identity:     al.Identity(),
+			QueryStart:   al.AStart,
+			QueryEnd:     al.AEnd,
+			SubjectStart: al.BStart,
+			SubjectEnd:   al.BEnd,
+		}
+		if statsErr == nil {
+			out[i].Bits = params.BitScore(al.Score)
+			out[i].EValue = params.EValue(al.Score, len(codes), d.store.TotalBases())
+		}
+	}
+	return out, nil
+}
+
+// NumSequences returns the number of records in the database.
+func (d *Database) NumSequences() int { return d.store.Len() }
+
+// TotalBases returns the number of bases across all records.
+func (d *Database) TotalBases() int { return d.store.TotalBases() }
+
+// Sequence returns record id's sequence as IUPAC letters.
+func (d *Database) Sequence(id int) string { return dna.String(d.store.Sequence(id)) }
+
+// Desc returns record id's description.
+func (d *Database) Desc(id int) string { return d.store.Desc(id) }
+
+// Stats summarises database storage.
+type Stats struct {
+	NumSequences  int
+	TotalBases    int
+	StoreBytes    int // compressed sequence data
+	IndexBytes    int // lexicon + postings + tables
+	PostingsBytes int
+	TermsIndexed  int
+	TermsStopped  int
+	IntervalLen   int
+}
+
+// Stats returns storage and index statistics.
+func (d *Database) Stats() Stats {
+	return Stats{
+		NumSequences:  d.store.Len(),
+		TotalBases:    d.store.TotalBases(),
+		StoreBytes:    d.store.EncodedBytes(),
+		IndexBytes:    d.idx.SizeBytes(),
+		PostingsBytes: d.idx.PostingsBytes(),
+		TermsIndexed:  d.idx.NumTermsIndexed(),
+		TermsStopped:  d.idx.NumStopped(),
+		IntervalLen:   d.idx.K(),
+	}
+}

@@ -1,0 +1,120 @@
+package nucleodb
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestOpenPagedMatchesInMemory(t *testing.T) {
+	recs, query, _ := testRecords(91)
+	built, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := built.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	mem, err := Open(dir, DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	paged, err := OpenPaged(dir, DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer paged.Close()
+
+	a, err := mem.Search(query, DefaultSearchOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := paged.Search(query, DefaultSearchOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("paged and in-memory searches differ:\n%+v\n%+v", a, b)
+	}
+
+	// Batch search works against the paged index too.
+	batch, err := paged.SearchBatch([]string{query, query[:150]}, DefaultSearchOptions(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batch[0], a) {
+		t.Error("paged batch search differs from sequential")
+	}
+}
+
+func TestOpenPagedRejectsSaveAndAppend(t *testing.T) {
+	recs, _, _ := testRecords(92)
+	built, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := built.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	paged, err := OpenPaged(dir, DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer paged.Close()
+	if err := paged.Save(filepath.Join(t.TempDir(), "copy")); err == nil {
+		t.Error("Save on paged database accepted")
+	}
+	if err := paged.Append([]Record{{Desc: "x", Sequence: "ACGTACGTACGT"}}); err == nil {
+		t.Error("Append on paged database accepted")
+	}
+}
+
+func TestOpenPagedFeatureCombos(t *testing.T) {
+	recs, query, _ := testRecords(93)
+	built, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := built.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	paged, err := OpenPaged(dir, DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer paged.Close()
+
+	// Both strands + prescreen + parallel fine on a paged index.
+	opts := DefaultSearchOptions()
+	opts.BothStrands = true
+	opts.Prescreen = 100
+	opts.FineWorkers = 4
+	rs, err := paged.Search(query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no results")
+	}
+	// HSPs and Alignment work against the paged store too.
+	if _, err := paged.HSPs(query, rs[0].ID, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	text, err := paged.Alignment(query, rs[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text == "" {
+		t.Error("empty alignment text")
+	}
+}
+
+func TestOpenPagedMissing(t *testing.T) {
+	if _, err := OpenPaged(filepath.Join(t.TempDir(), "nope"), DefaultScoring()); err == nil {
+		t.Error("missing directory accepted")
+	}
+}

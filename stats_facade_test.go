@@ -1,0 +1,101 @@
+package nucleodb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSearchReportsSignificance(t *testing.T) {
+	recs, query, _ := testRecords(68)
+	db, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := db.Search(query, DefaultSearchOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no results")
+	}
+	top := rs[0]
+	if top.Bits <= 0 {
+		t.Errorf("top bit score = %v, want > 0", top.Bits)
+	}
+	// A strong homolog in a ~30 kbase database is overwhelmingly
+	// significant.
+	if top.EValue > 1e-6 {
+		t.Errorf("top E-value = %v, want ≤ 1e-6", top.EValue)
+	}
+	// E-values order opposite to scores.
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Score < rs[i-1].Score && rs[i].EValue < rs[i-1].EValue {
+			t.Errorf("E-value ordering inverted at %d: %v after %v", i, rs[i].EValue, rs[i-1].EValue)
+		}
+	}
+}
+
+func TestStatisticsStable(t *testing.T) {
+	recs, _, _ := testRecords(69)
+	db, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := db.Statistics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.Statistics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("Statistics changed between calls: %+v vs %+v", a, b)
+	}
+	if a.Lambda <= 0 || a.K <= 0 || a.H <= 0 {
+		t.Errorf("degenerate parameters: %+v", a)
+	}
+}
+
+func TestBothStrandsFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	source := letters(rng, 500)
+	rc := reverseComplementLetters(source)
+	recs := []Record{{Desc: "rc-target", Sequence: rc}}
+	for i := 0; i < 20; i++ {
+		recs = append(recs, Record{Desc: "noise", Sequence: letters(rng, 400)})
+	}
+	db, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := source[100:300]
+
+	opts := DefaultSearchOptions()
+	opts.MinScore = 500
+	fwd, err := db.Search(query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fwd) != 0 {
+		t.Fatalf("forward-only search found the RC target: %+v", fwd)
+	}
+	opts.BothStrands = true
+	both, err := db.Search(query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(both) == 0 || both[0].ID != 0 || !both[0].Reverse {
+		t.Fatalf("both-strands search results = %+v", both)
+	}
+}
+
+func reverseComplementLetters(s string) string {
+	comp := map[byte]byte{'A': 'T', 'C': 'G', 'G': 'C', 'T': 'A'}
+	var b strings.Builder
+	for i := len(s) - 1; i >= 0; i-- {
+		b.WriteByte(comp[s[i]])
+	}
+	return b.String()
+}
