@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench examples experiments fmt vet clean
+.PHONY: all build test test-race cover bench check examples experiments fmt vet clean
 
 all: build test
 
@@ -19,7 +19,17 @@ cover:
 	$(GO) test -cover ./...
 
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem ./...
+
+# The full pre-commit gate: static checks, the race-enabled test suite,
+# and a build of every command-line tool. The race pass runs -short:
+# it is there to catch data races in the concurrent paths, and the
+# full experiment suite under the race detector exceeds the package
+# test timeout (run `make test` / `make test-race` for those).
+check:
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
+	$(GO) build ./cmd/...
 
 examples:
 	$(GO) run ./examples/quickstart/

@@ -16,6 +16,15 @@ import (
 // Search calls do. workers ≤ 0 uses all CPUs. The first error aborts
 // the batch.
 func (d *Database) SearchBatch(queries []string, opts SearchOptions, workers int) ([][]Result, error) {
+	out, _, err := d.SearchBatchWithStats(queries, opts, workers)
+	return out, err
+}
+
+// SearchBatchWithStats is SearchBatch plus the aggregated work and
+// latency stats of the whole batch: every per-query SearchStats summed
+// field-wise (so TotalTime is accumulated search time across workers,
+// not the batch's wall time). Results are identical to SearchBatch's.
+func (d *Database) SearchBatchWithStats(queries []string, opts SearchOptions, workers int) ([][]Result, SearchStats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -23,8 +32,9 @@ func (d *Database) SearchBatch(queries []string, opts SearchOptions, workers int
 		workers = len(queries)
 	}
 	out := make([][]Result, len(queries))
+	var agg SearchStats
 	if len(queries) == 0 {
-		return out, nil
+		return out, agg, nil
 	}
 
 	// Encode everything up front so input errors name the query and
@@ -33,7 +43,7 @@ func (d *Database) SearchBatch(queries []string, opts SearchOptions, workers int
 	for i, q := range queries {
 		codes, err := dna.Encode([]byte(q))
 		if err != nil {
-			return nil, fmt.Errorf("nucleodb: query %d: %w", i, err)
+			return nil, agg, fmt.Errorf("nucleodb: query %d: %w", i, err)
 		}
 		encoded[i] = codes
 	}
@@ -42,6 +52,7 @@ func (d *Database) SearchBatch(queries []string, opts SearchOptions, workers int
 	type result struct {
 		i   int
 		rs  []core.Result
+		st  SearchStats
 		err error
 	}
 	work := make(chan int)
@@ -50,14 +61,15 @@ func (d *Database) SearchBatch(queries []string, opts SearchOptions, workers int
 	for w := 0; w < workers; w++ {
 		searcher, err := core.NewSearcher(d.idx, d.store, d.scoring)
 		if err != nil {
-			return nil, fmt.Errorf("nucleodb: %w", err)
+			return nil, agg, fmt.Errorf("nucleodb: %w", err)
 		}
 		wg.Add(1)
 		go func(s *core.Searcher) {
 			defer wg.Done()
+			var cst core.SearchStats
 			for i := range work {
-				rs, err := s.Search(encoded[i], opts.internal())
-				results <- result{i, rs, err}
+				rs, err := s.SearchWithStats(encoded[i], opts.internal(), &cst)
+				results <- result{i, rs, searchStatsFrom(cst), err}
 			}
 		}(searcher)
 	}
@@ -78,6 +90,8 @@ func (d *Database) SearchBatch(queries []string, opts SearchOptions, workers int
 			}
 			continue
 		}
+		agg.Add(r.st)
+		recordSearchMetrics(r.st)
 		rs := make([]Result, len(r.rs))
 		for k, cr := range r.rs {
 			rs[k] = Result{
@@ -99,7 +113,7 @@ func (d *Database) SearchBatch(queries []string, opts SearchOptions, workers int
 		out[r.i] = rs
 	}
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, agg, firstErr
 	}
-	return out, nil
+	return out, agg, nil
 }

@@ -4,9 +4,11 @@
 package clitest
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -142,6 +144,169 @@ func TestPipeline(t *testing.T) {
 	out = run(t, tools["cafe-bench"], "-run", "E9", "-bases", "100000", "-queries", "4")
 	if !strings.Contains(out, "E9") || !strings.Contains(out, "skip interval") {
 		t.Fatalf("cafe-bench output:\n%s", out)
+	}
+}
+
+// statsGolden is the stable skeleton of a cafe-search -stats block:
+// latencies vary run to run, so the golden comparison keeps labels and
+// work counters and blanks out every duration.
+var (
+	statsDurationRE = regexp.MustCompile(`[0-9]+(\.[0-9]+)?(ns|µs|us|ms|s)\b`)
+	spaceRunRE      = regexp.MustCompile(`\s+`)
+)
+
+// goldenStats extracts the -stats block lines with durations masked and
+// whitespace runs collapsed (the duration column is padded, so masking
+// alone leaves width noise).
+func goldenStats(out string) []string {
+	var block []string
+	for _, line := range strings.Split(out, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "stats:") ||
+			strings.HasPrefix(trimmed, "coarse:") ||
+			strings.HasPrefix(trimmed, "prescreen:") ||
+			strings.HasPrefix(trimmed, "fine:") ||
+			strings.HasPrefix(trimmed, "traceback:") ||
+			strings.HasPrefix(trimmed, "total:") {
+			masked := statsDurationRE.ReplaceAllString(trimmed, "<dur>")
+			block = append(block, spaceRunRE.ReplaceAllString(masked, " "))
+		}
+	}
+	return block
+}
+
+// TestSearchStatsGolden locks in the -stats output: the stable fields
+// (stage labels and work counters) must match the golden skeleton
+// exactly across runs, and the answer lines must be byte-identical to a
+// search without -stats — instrumentation is observably non-perturbing
+// from the command line too.
+func TestSearchStatsGolden(t *testing.T) {
+	tools := buildTools(t)
+	work := t.TempDir()
+	fasta := filepath.Join(work, "collection.fasta")
+	queries := filepath.Join(work, "queries.fasta")
+	dbDir := filepath.Join(work, "db")
+	run(t, tools["cafe-gen"],
+		"-seqs", "200", "-seed", "11", "-out", fasta,
+		"-queries", "1", "-qout", queries, "-querylen", "300")
+	run(t, tools["cafe-build"], "-in", fasta, "-db", dbDir, "-k", "9")
+
+	plain := run(t, tools["cafe-search"], "-db", dbDir, "-queries", queries, "-limit", "5")
+	withStats := run(t, tools["cafe-search"], "-db", dbDir, "-queries", queries, "-limit", "5", "-stats")
+
+	// Answer lines ("  1. score ...") are unchanged by -stats.
+	answers := func(out string) []string {
+		var got []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "score") && strings.Contains(line, "seq") {
+				got = append(got, line)
+			}
+		}
+		return got
+	}
+	pa, sa := answers(plain), answers(withStats)
+	if len(pa) == 0 || strings.Join(pa, "\n") != strings.Join(sa, "\n") {
+		t.Fatalf("-stats changed the answers:\nplain:\n%s\nstats:\n%s", plain, withStats)
+	}
+
+	// The stats block has the golden shape: every stage label present,
+	// counters plausible, and a second run produces the identical
+	// skeleton (counters are deterministic; only durations vary).
+	block := goldenStats(withStats)
+	if len(block) != 6 {
+		t.Fatalf("stats block has %d lines, want 6:\n%s", len(block), withStats)
+	}
+	for i, wantPrefix := range []string{"stats:", "coarse:", "prescreen:", "fine:", "traceback:", "total:"} {
+		if !strings.HasPrefix(block[i], wantPrefix) {
+			t.Fatalf("stats line %d = %q, want prefix %q", i, block[i], wantPrefix)
+		}
+	}
+	for _, want := range []string{"terms", "lists", "postings", "bytes", "sequences", "candidates", "rejected", "alignments", "dp-cells", "results"} {
+		if !strings.Contains(strings.Join(block, "\n"), want) {
+			t.Fatalf("stats block missing counter %q:\n%s", want, strings.Join(block, "\n"))
+		}
+	}
+	again := goldenStats(run(t, tools["cafe-search"], "-db", dbDir, "-queries", queries, "-limit", "5", "-stats"))
+	if strings.Join(block, "\n") != strings.Join(again, "\n") {
+		t.Fatalf("stats skeleton not deterministic:\nfirst:\n%s\nsecond:\n%s",
+			strings.Join(block, "\n"), strings.Join(again, "\n"))
+	}
+
+	// In -tsv mode the stats go to stderr, keeping stdout machine-clean.
+	cmd := exec.Command(tools["cafe-search"], "-db", dbDir, "-queries", queries, "-limit", "2", "-tsv", "-stats")
+	var stdout, stderr strings.Builder
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("tsv+stats: %v\n%s", err, stderr.String())
+	}
+	if strings.Contains(stdout.String(), "stats:") || strings.Contains(stdout.String(), "process totals") {
+		t.Fatalf("-tsv stdout polluted by stats:\n%s", stdout.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		if fields := strings.Split(line, "\t"); len(fields) != 12 {
+			t.Fatalf("-tsv -stats stdout line has %d fields: %q", len(fields), line)
+		}
+	}
+	if !strings.Contains(stderr.String(), "stats:") {
+		t.Fatalf("-tsv -stats printed no stats on stderr:\n%s", stderr.String())
+	}
+}
+
+// TestBenchJSON: cafe-bench -json emits parseable JSON carrying the
+// per-stage keys and work counters downstream tooling diffs against.
+func TestBenchJSON(t *testing.T) {
+	tools := buildTools(t)
+	out := run(t, tools["cafe-bench"], "-json", "-bases", "100000", "-queries", "4")
+	var rep struct {
+		Queries  int              `json:"queries"`
+		Counters map[string]int64 `json:"counters"`
+		Stages   map[string]struct {
+			TotalUS float64 `json:"total_us"`
+			MeanUS  float64 `json:"mean_us"`
+			Share   float64 `json:"share"`
+		} `json:"stages"`
+		MeanQueryUS float64 `json:"mean_query_us"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("cafe-bench -json not JSON: %v\n%s", err, out)
+	}
+	if rep.Queries != 4 {
+		t.Fatalf("queries = %d, want 4", rep.Queries)
+	}
+	for _, stage := range []string{"coarse", "prescreen", "fine", "traceback"} {
+		if _, ok := rep.Stages[stage]; !ok {
+			t.Fatalf("JSON missing stage %q:\n%s", stage, out)
+		}
+	}
+	for _, key := range []string{"postings_decoded", "coarse_candidates", "fine_alignments", "fine_dp_cells", "results"} {
+		if rep.Counters[key] <= 0 {
+			t.Fatalf("counter %q = %d, want > 0:\n%s", key, rep.Counters[key], out)
+		}
+	}
+	if rep.Stages["coarse"].TotalUS <= 0 || rep.Stages["fine"].TotalUS <= 0 || rep.MeanQueryUS <= 0 {
+		t.Fatalf("stage clocks not positive:\n%s", out)
+	}
+}
+
+// TestInspectJSON: cafe-inspect -json summarises the database in
+// machine-readable form.
+func TestInspectJSON(t *testing.T) {
+	tools := buildTools(t)
+	work := t.TempDir()
+	fasta := filepath.Join(work, "collection.fasta")
+	dbDir := filepath.Join(work, "db")
+	run(t, tools["cafe-gen"], "-seqs", "50", "-seed", "3", "-out", fasta)
+	run(t, tools["cafe-build"], "-in", fasta, "-db", dbDir, "-k", "9")
+	out := run(t, tools["cafe-inspect"], "-db", dbDir, "-json")
+	var m map[string]any
+	if err := json.Unmarshal([]byte(out), &m); err != nil {
+		t.Fatalf("cafe-inspect -json not JSON: %v\n%s", err, out)
+	}
+	for _, key := range []string{"sequences", "bases", "index_bytes", "postings_bytes", "total_postings", "interval_length"} {
+		v, ok := m[key].(float64)
+		if !ok || v <= 0 {
+			t.Fatalf("summary key %q = %v, want positive number:\n%s", key, m[key], out)
+		}
 	}
 }
 

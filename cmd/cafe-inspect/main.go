@@ -7,9 +7,11 @@
 //
 //	cafe-inspect -db ./mydb
 //	cafe-inspect -db ./mydb -top 20
+//	cafe-inspect -db ./mydb -json   # machine-readable summary
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -26,8 +28,9 @@ func main() {
 	log.SetPrefix("cafe-inspect: ")
 
 	var (
-		dbDir = flag.String("db", "", "database directory (required)")
-		top   = flag.Int("top", 10, "how many of the most frequent intervals to list")
+		dbDir  = flag.String("db", "", "database directory (required)")
+		top    = flag.Int("top", 10, "how many of the most frequent intervals to list")
+		asJSON = flag.Bool("json", false, "print the storage/index summary as JSON and exit")
 	)
 	flag.Parse()
 	if *dbDir == "" {
@@ -52,6 +55,29 @@ func main() {
 	xf.Close()
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *asJSON {
+		opts := idx.Options()
+		summary := map[string]any{
+			"sequences":       store.Len(),
+			"bases":           store.TotalBases(),
+			"store_bytes":     store.EncodedBytes(),
+			"index_bytes":     idx.SizeBytes(),
+			"postings_bytes":  idx.PostingsBytes(),
+			"total_postings":  idx.TotalPostings(),
+			"interval_length": opts.K,
+			"offsets_stored":  opts.StoreOffsets,
+			"skip_interval":   opts.SkipInterval,
+			"terms_indexed":   idx.NumTermsIndexed(),
+			"terms_stopped":   idx.NumStopped(),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summary); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	fmt.Printf("database %s\n\n", *dbDir)

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -48,6 +49,7 @@ func main() {
 		show       = flag.Int("show", 0, "print full alignments for the top N answers")
 		paged      = flag.Bool("paged", false, "read posting lists from disk on demand instead of loading the index")
 		tsv        = flag.Bool("tsv", false, "tab-separated output: query, rank, id, desc, score, bits, evalue, strand, spans")
+		stats      = flag.Bool("stats", false, "print per-stage work counters and latencies after each query, and process totals at the end")
 	)
 	flag.Parse()
 	if *dbDir == "" || (*q == "" && *queryFile == "") {
@@ -98,11 +100,14 @@ func main() {
 
 	for _, nq := range queries {
 		start := time.Now()
-		rs, err := db.Search(nq.seq, opts)
+		rs, st, err := db.SearchWithStats(nq.seq, opts)
 		if err != nil {
 			log.Fatalf("%s: %v", nq.name, err)
 		}
 		if *tsv {
+			if *stats {
+				printStats(os.Stderr, st)
+			}
 			for i, r := range rs {
 				strand := "+"
 				if r.Reverse {
@@ -136,5 +141,38 @@ func main() {
 				fmt.Println(indent(text, "      "))
 			}
 		}
+		if *stats {
+			printStats(os.Stdout, st)
+		}
 	}
+	if *stats && len(queries) > 1 {
+		// In -tsv mode stdout is the machine-readable stream; totals
+		// join the per-query stats on stderr.
+		dst := io.Writer(os.Stdout)
+		if *tsv {
+			dst = os.Stderr
+		}
+		fmt.Fprintln(dst, "\nprocess totals:")
+		if err := nucleodb.WriteMetricsText(dst); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// printStats renders one query's per-stage breakdown. Counter fields
+// are stable (the clitest golden test keys on them); latencies vary
+// run to run.
+func printStats(w io.Writer, st nucleodb.SearchStats) {
+	fmt.Fprintf(w, "  stats: strands %d  terms %d  lists %d  postings %d  bytes %d\n",
+		st.Strands, st.QueryTerms, st.PostingLists, st.PostingsDecoded, st.PostingsBytesRead)
+	fmt.Fprintf(w, "    coarse:    %-10v sequences %d, candidates %d\n",
+		st.CoarseTime.Round(time.Microsecond), st.CoarseSequences, st.CoarseCandidates)
+	fmt.Fprintf(w, "    prescreen: %-10v rejected %d\n",
+		st.PrescreenTime.Round(time.Microsecond), st.PrescreenRejections)
+	fmt.Fprintf(w, "    fine:      %-10v alignments %d, dp-cells %d\n",
+		st.FineTime.Round(time.Microsecond), st.FineAlignments, st.FineDPCells)
+	fmt.Fprintf(w, "    traceback: %-10v alignments %d, dp-cells %d\n",
+		st.TracebackTime.Round(time.Microsecond), st.TracebackAlignments, st.TracebackDPCells)
+	fmt.Fprintf(w, "    total:     %-10v results %d\n",
+		st.TotalTime.Round(time.Microsecond), st.Results)
 }

@@ -1,0 +1,45 @@
+package align
+
+// Cell accounting for the observability pipeline: the searcher reports
+// how many dynamic-programming cells each fine-phase alignment
+// evaluated, and these helpers compute that count without touching the
+// aligners' inner loops — instrumentation must not perturb them.
+
+// LocalCells returns the number of DP cells Local/LocalScore evaluate
+// for sequences of length la and lb: the full la×lb matrix.
+func LocalCells(la, lb int) int64 {
+	if la <= 0 || lb <= 0 {
+		return 0
+	}
+	return int64(la) * int64(lb)
+}
+
+// BandedCells returns the number of DP cells BandedLocalScore (and
+// BandedLocal) evaluate for sequences of length la and lb with the
+// given band centre and half-width: the intersection of the diagonal
+// strip centre±band with the matrix, mirroring the aligner's row
+// clipping exactly.
+func BandedCells(la, lb, centre, band int) int64 {
+	if la <= 0 || lb <= 0 || band < 0 {
+		return 0
+	}
+	lo, hi := centre-band, centre+band
+	var cells int64
+	for i := 0; i < la; i++ {
+		jLo, jHi := i+lo, i+hi
+		if jLo < 0 {
+			jLo = 0
+		}
+		if jHi >= lb {
+			jHi = lb - 1
+		}
+		if jLo > jHi {
+			if i+lo > lb-1 {
+				break
+			}
+			continue
+		}
+		cells += int64(jHi - jLo + 1)
+	}
+	return cells
+}

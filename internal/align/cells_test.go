@@ -1,0 +1,54 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteBandedCells counts (i,j) pairs inside both the matrix and the
+// diagonal strip — the definition BandedCells must match.
+func bruteBandedCells(la, lb, centre, band int) int64 {
+	var cells int64
+	for i := 0; i < la; i++ {
+		for j := 0; j < lb; j++ {
+			if d := j - i; d >= centre-band && d <= centre+band {
+				cells++
+			}
+		}
+	}
+	return cells
+}
+
+func TestBandedCellsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		la, lb := 1+rng.Intn(80), 1+rng.Intn(80)
+		centre := rng.Intn(161) - 80
+		band := rng.Intn(40)
+		got := BandedCells(la, lb, centre, band)
+		want := bruteBandedCells(la, lb, centre, band)
+		if got != want {
+			t.Fatalf("BandedCells(%d,%d,%d,%d) = %d, want %d", la, lb, centre, band, got, want)
+		}
+	}
+}
+
+func TestCellsEdgeCases(t *testing.T) {
+	if got := LocalCells(0, 10); got != 0 {
+		t.Fatalf("LocalCells(0,10) = %d", got)
+	}
+	if got := LocalCells(300, 500); got != 150000 {
+		t.Fatalf("LocalCells(300,500) = %d", got)
+	}
+	if got := BandedCells(10, 10, 0, -1); got != 0 {
+		t.Fatalf("negative band: %d cells", got)
+	}
+	// Band wider than the matrix degenerates to the full matrix.
+	if got := BandedCells(20, 30, 0, 100); got != LocalCells(20, 30) {
+		t.Fatalf("wide band = %d, want full matrix %d", got, LocalCells(20, 30))
+	}
+	// Band entirely off the matrix touches nothing.
+	if got := BandedCells(10, 10, 1000, 5); got != 0 {
+		t.Fatalf("off-matrix band: %d cells", got)
+	}
+}

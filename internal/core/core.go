@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nucleodb/internal/align"
 	"nucleodb/internal/dna"
@@ -238,18 +239,38 @@ type Candidate struct {
 // reverse complement of the query is evaluated too and each sequence
 // reports its best strand.
 func (s *Searcher) Search(query []byte, opts Options) ([]Result, error) {
+	return s.SearchWithStats(query, opts, nil)
+}
+
+// SearchWithStats runs Search and, when st is non-nil, fills it with
+// the per-stage work counters and wall times of this evaluation (st is
+// reset first). Collection is allocation-free and does not change
+// results: the stats-enabled search returns exactly what Search
+// returns, a property the core tests lock in.
+func (s *Searcher) SearchWithStats(query []byte, opts Options, st *SearchStats) ([]Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	forward, err := s.searchStrand(query, opts)
+	var start time.Time
+	if st != nil {
+		st.Reset()
+		st.Strands = 1
+		start = time.Now()
+	}
+	forward, err := s.searchStrand(query, opts, st)
 	if err != nil {
 		return nil, err
 	}
 	if !opts.BothStrands {
-		return s.finishTracebacks(query, nil, s.finish(forward, opts), opts), nil
+		out := s.finishTracebacks(query, nil, s.finish(forward, opts), opts, st)
+		if st != nil {
+			st.Results = len(out)
+			st.TotalTime = time.Since(start)
+		}
+		return out, nil
 	}
 	rc := dna.ReverseComplement(query)
-	reverse, err := s.searchStrand(rc, opts)
+	reverse, err := s.searchStrand(rc, opts, st)
 	if err != nil {
 		return nil, err
 	}
@@ -267,14 +288,24 @@ func (s *Searcher) Search(query []byte, opts Options) ([]Result, error) {
 	for _, r := range best {
 		merged = append(merged, r)
 	}
-	return s.finishTracebacks(query, rc, s.finish(merged, opts), opts), nil
+	out := s.finishTracebacks(query, rc, s.finish(merged, opts), opts, st)
+	if st != nil {
+		st.Strands = 2
+		st.Results = len(out)
+		st.TotalTime = time.Since(start)
+	}
+	return out, nil
 }
 
 // finishTracebacks replaces the score-only banded results that made
 // the final list with full traceback alignments. Only the reported
 // results — at most Limit — pay for a direction matrix, so transcript
 // output costs nothing measurable per query.
-func (s *Searcher) finishTracebacks(query, rcQuery []byte, results []Result, opts Options) []Result {
+func (s *Searcher) finishTracebacks(query, rcQuery []byte, results []Result, opts Options, st *SearchStats) []Result {
+	var t0 time.Time
+	if st != nil {
+		t0 = time.Now()
+	}
 	for i := range results {
 		r := &results[i]
 		if !r.needsTraceback {
@@ -284,11 +315,19 @@ func (s *Searcher) finishTracebacks(query, rcQuery []byte, results []Result, opt
 		if r.Reverse {
 			q = rcQuery
 		}
-		al := align.BandedLocal(q, s.src.Sequence(r.ID), r.bandCentre, opts.Band, s.scoring)
+		subject := s.src.Sequence(r.ID)
+		al := align.BandedLocal(q, subject, r.bandCentre, opts.Band, s.scoring)
 		if al.Score == r.Score {
 			r.Alignment = al
 		}
 		r.needsTraceback = false
+		if st != nil {
+			st.TracebackAlignments++
+			st.TracebackDPCells += align.BandedCells(len(q), len(subject), r.bandCentre, opts.Band)
+		}
+	}
+	if st != nil {
+		st.TracebackTime += time.Since(t0)
 	}
 	return results
 }
@@ -308,19 +347,32 @@ func (s *Searcher) finish(results []Result, opts Options) []Result {
 }
 
 // searchStrand evaluates one orientation of the query. Results are
-// unordered; finish ranks them.
-func (s *Searcher) searchStrand(query []byte, opts Options) ([]Result, error) {
-	cands, err := s.Coarse(query, opts.CoarseMode, opts.MinCoarseHits)
+// unordered; finish ranks them. When st is non-nil it accumulates the
+// strand's coarse and fine stage stats.
+func (s *Searcher) searchStrand(query []byte, opts Options, st *SearchStats) ([]Result, error) {
+	collect := st != nil
+	var t0 time.Time
+	if collect {
+		t0 = time.Now()
+	}
+	cands, err := s.coarse(query, opts.CoarseMode, opts.MinCoarseHits, st)
 	if err != nil {
 		return nil, err
 	}
 	if len(cands) > opts.Candidates {
 		cands = cands[:opts.Candidates]
 	}
+	if collect {
+		st.CoarseTime += time.Since(t0)
+		st.CoarseCandidates += len(cands)
+		t0 = time.Now()
+	}
 	// fine evaluates one candidate; it reads only immutable searcher
 	// state (termSet is not mutated during the fine phase), so it is
-	// safe to run concurrently.
-	fine := func(c Candidate) (Result, bool) {
+	// safe to run concurrently. Its stats contribution returns by
+	// value (fineWork), so the parallel path needs no shared state.
+	fine := func(c Candidate) (Result, bool, fineWork) {
+		var fw fineWork
 		seq := s.src.Sequence(c.ID)
 		var r Result
 		r.ID = c.ID
@@ -332,19 +384,31 @@ func (s *Searcher) searchStrand(query []byte, opts Options) ([]Result, error) {
 			seed, haveSeed = s.bestSeed(query, seq)
 		}
 		if opts.Prescreen > 0 {
-			if !haveSeed {
-				return r, false
+			var p0 time.Time
+			if collect {
+				p0 = time.Now()
 			}
-			score, _, _, _, _ := align.ExtendUngapped(
-				query, seq, seed.qPos, seed.sPos, s.idx.K(), s.scoring, prescreenXDrop)
-			if score < opts.Prescreen {
-				return r, false
+			pass := haveSeed
+			if haveSeed {
+				score, _, _, _, _ := align.ExtendUngapped(
+					query, seq, seed.qPos, seed.sPos, s.idx.K(), s.scoring, prescreenXDrop)
+				pass = score >= opts.Prescreen
+			}
+			if collect {
+				fw.prescreen = time.Since(p0)
+				fw.rejected = !pass
+			}
+			if !pass {
+				return r, false, fw
 			}
 		}
 		switch opts.FineMode {
 		case FineFull:
 			r.Alignment = align.Local(query, seq, s.scoring)
 			r.Score = r.Alignment.Score
+			if collect {
+				fw.cells = align.LocalCells(len(query), len(seq))
+			}
 		case FineBanded:
 			centre := 0
 			switch {
@@ -361,26 +425,39 @@ func (s *Searcher) searchStrand(query []byte, opts Options) ([]Result, error) {
 			r.Alignment = align.Alignment{Score: score, AStart: aEnd, AEnd: aEnd, BStart: bEnd, BEnd: bEnd}
 			r.bandCentre = centre
 			r.needsTraceback = score > 0
+			if collect {
+				fw.cells = align.BandedCells(len(query), len(seq), centre, opts.Band)
+			}
 		}
-		return r, r.Score >= opts.MinScore
+		fw.aligned = true
+		return r, r.Score >= opts.MinScore, fw
 	}
 
 	results := make([]Result, 0, len(cands))
 	if opts.FineWorkers <= 1 || len(cands) < 2 {
 		for _, c := range cands {
-			if r, ok := fine(c); ok {
+			r, ok, fw := fine(c)
+			if collect {
+				st.addFine(fw)
+			}
+			if ok {
 				results = append(results, r)
 			}
+		}
+		if collect {
+			st.FineTime += time.Since(t0)
 		}
 		return results, nil
 	}
 
 	// Parallel fine phase: candidates are distributed across workers
 	// and collected in candidate order, so output is identical to the
-	// serial path.
+	// serial path. Per-candidate stats ride in the slots and fold in
+	// after the join, keeping the workers free of shared counters.
 	type slot struct {
 		r  Result
 		ok bool
+		fw fineWork
 	}
 	slots := make([]slot, len(cands))
 	workers := opts.FineWorkers
@@ -398,16 +475,22 @@ func (s *Searcher) searchStrand(query []byte, opts Options) ([]Result, error) {
 				if i >= len(cands) {
 					return
 				}
-				r, ok := fine(cands[i])
-				slots[i] = slot{r, ok}
+				r, ok, fw := fine(cands[i])
+				slots[i] = slot{r, ok, fw}
 			}
 		}()
 	}
 	wg.Wait()
 	for _, sl := range slots {
+		if collect {
+			st.addFine(sl.fw)
+		}
 		if sl.ok {
 			results = append(results, sl.r)
 		}
+	}
+	if collect {
+		st.FineTime += time.Since(t0)
 	}
 	return results, nil
 }
@@ -421,6 +504,13 @@ const prescreenXDrop = 30
 // Exposed for the recall experiments, which sweep the candidate budget
 // over a single coarse ranking.
 func (s *Searcher) Coarse(query []byte, mode CoarseMode, minHits int) ([]Candidate, error) {
+	return s.coarse(query, mode, minHits, nil)
+}
+
+// coarse implements Coarse, accumulating work counters into st when
+// non-nil (stage timing is the caller's job — searchStrand wraps this
+// call in the coarse wall clock).
+func (s *Searcher) coarse(query []byte, mode CoarseMode, minHits int, st *SearchStats) ([]Candidate, error) {
 	if minHits < 1 {
 		minHits = 1
 	}
@@ -438,12 +528,19 @@ func (s *Searcher) Coarse(query []byte, mode CoarseMode, minHits int) ([]Candida
 		s.termSet[t] = append(s.termSet[t], pos)
 	})
 
+	if st != nil {
+		st.QueryTerms += len(s.termSet)
+	}
 	s.acc.reset()
 	diag := newDiagAcc(mode == CoarseDiagonal)
 	for t, qPositions := range s.termSet {
-		df := s.idx.Reader(t, &s.it)
+		df, listBytes := s.idx.ReaderStats(t, &s.it)
 		if df == 0 {
 			continue
+		}
+		if st != nil {
+			st.PostingLists++
+			st.PostingsBytesRead += int64(listBytes)
 		}
 		for s.it.Next() {
 			e := s.it.Entry()
@@ -459,6 +556,12 @@ func (s *Searcher) Coarse(query []byte, mode CoarseMode, minHits int) ([]Candida
 		if err := s.it.Err(); err != nil {
 			return nil, fmt.Errorf("core: term %d postings: %w", t, err)
 		}
+		if st != nil {
+			st.PostingsDecoded += int64(s.it.Decoded())
+		}
+	}
+	if st != nil {
+		st.CoarseSequences += len(s.acc.touched)
 	}
 
 	var diagBest map[uint32]diagResult

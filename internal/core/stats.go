@@ -1,0 +1,125 @@
+package core
+
+import "time"
+
+// SearchStats counts the work one Search performed, stage by stage.
+// Pass a *SearchStats to SearchWithStats to collect it; collection is
+// allocation-free (the struct lives wherever the caller put it, the
+// pipeline only increments fields) and provably non-perturbing — the
+// equivalence property test locks in that an instrumented search
+// returns results identical to an uninstrumented one.
+//
+// The counters map directly onto the paper's cost model: the coarse
+// phase pays PostingsDecoded posting decodes to rank CoarseSequences
+// sequences, and only CoarseCandidates of them — a fixed budget,
+// independent of collection size — reach the dynamic programming that
+// dominates exhaustive search, whose size FineDPCells measures.
+type SearchStats struct {
+	// Strands is 1, or 2 for a BothStrands search (every per-strand
+	// counter then accumulates over both orientations).
+	Strands int
+	// QueryTerms is the number of distinct query intervals extracted.
+	QueryTerms int
+	// PostingLists is the number of non-empty posting lists read.
+	PostingLists int
+	// PostingsDecoded is the number of posting entries decoded across
+	// those lists — the coarse phase's unit of work.
+	PostingsDecoded int64
+	// PostingsBytesRead is the compressed size of the lists read; on a
+	// paged index this is bytes fetched from disk.
+	PostingsBytesRead int64
+	// CoarseSequences is the number of distinct sequences the coarse
+	// accumulator touched (candidates before MinCoarseHits and the
+	// budget).
+	CoarseSequences int
+	// CoarseCandidates is the number of candidates admitted past the
+	// coarse phase — the sequences that may receive fine alignment.
+	CoarseCandidates int
+	// PrescreenRejections is the number of candidates the ungapped
+	// x-drop prescreen discarded before fine alignment (including
+	// candidates with no shared seed to extend).
+	PrescreenRejections int
+	// FineAlignments is the number of fine-phase alignments run; at
+	// most CoarseCandidates.
+	FineAlignments int
+	// TracebackAlignments is the number of deferred banded tracebacks
+	// run for reported results.
+	TracebackAlignments int
+	// FineDPCells and TracebackDPCells are the dynamic-programming
+	// cells those alignments evaluated — the paper's "fraction of the
+	// database aligned", in cells.
+	FineDPCells      int64
+	TracebackDPCells int64
+	// Results is the number of answers returned.
+	Results int
+
+	// Per-stage wall time. CoarseTime, FineTime, TracebackTime and
+	// TotalTime are disjoint-interval wall clocks, so the first three
+	// sum to at most TotalTime (the remainder is ranking, merging and
+	// result assembly). PrescreenTime is a subset of FineTime measured
+	// per candidate; with FineWorkers > 1 it sums across workers and
+	// may exceed the fine phase's wall time.
+	CoarseTime    time.Duration
+	PrescreenTime time.Duration
+	FineTime      time.Duration
+	TracebackTime time.Duration
+	TotalTime     time.Duration
+}
+
+// Reset zeroes every counter and duration.
+func (st *SearchStats) Reset() { *st = SearchStats{} }
+
+// Add accumulates o into st field by field, for aggregating many
+// queries (batch evaluation, benchmark suites).
+func (st *SearchStats) Add(o SearchStats) {
+	st.Strands += o.Strands
+	st.QueryTerms += o.QueryTerms
+	st.PostingLists += o.PostingLists
+	st.PostingsDecoded += o.PostingsDecoded
+	st.PostingsBytesRead += o.PostingsBytesRead
+	st.CoarseSequences += o.CoarseSequences
+	st.CoarseCandidates += o.CoarseCandidates
+	st.PrescreenRejections += o.PrescreenRejections
+	st.FineAlignments += o.FineAlignments
+	st.TracebackAlignments += o.TracebackAlignments
+	st.FineDPCells += o.FineDPCells
+	st.TracebackDPCells += o.TracebackDPCells
+	st.Results += o.Results
+	st.CoarseTime += o.CoarseTime
+	st.PrescreenTime += o.PrescreenTime
+	st.FineTime += o.FineTime
+	st.TracebackTime += o.TracebackTime
+	st.TotalTime += o.TotalTime
+}
+
+// DPCells returns the total dynamic-programming cells evaluated (fine
+// phase plus tracebacks).
+func (st *SearchStats) DPCells() int64 { return st.FineDPCells + st.TracebackDPCells }
+
+// StageTime returns the sum of the disjoint stage wall clocks; always
+// ≤ TotalTime.
+func (st *SearchStats) StageTime() time.Duration {
+	return st.CoarseTime + st.FineTime + st.TracebackTime
+}
+
+// fineWork is the per-candidate stats contribution of the fine phase,
+// returned by value from the fine closure so the parallel fine path
+// aggregates without shared mutable state or atomics.
+type fineWork struct {
+	prescreen time.Duration
+	rejected  bool
+	aligned   bool
+	cells     int64
+}
+
+// addFine folds one candidate's fine-phase work into the stats.
+func (st *SearchStats) addFine(fw fineWork) {
+	st.PrescreenTime += fw.prescreen
+	if fw.rejected {
+		st.PrescreenRejections++
+	}
+	if fw.aligned {
+		st.FineAlignments++
+		st.FineDPCells += fw.cells
+	}
+}

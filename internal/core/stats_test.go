@@ -1,0 +1,279 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"nucleodb/internal/align"
+	"nucleodb/internal/db"
+	"nucleodb/internal/gen"
+	"nucleodb/internal/index"
+)
+
+// randomFixture builds a small random database with a planted family
+// and a homologous query, varying sizes and rates with the seed.
+func randomFixture(t *testing.T, rng *rand.Rand) (*db.Store, *index.Index, []byte) {
+	t.Helper()
+	uniform := [4]float64{0.25, 0.25, 0.25, 0.25}
+	var store db.Store
+	root := gen.RandomSequence(rng, 400+rng.Intn(600), uniform, 0)
+	model := gen.MutationModel{
+		SubstitutionRate: 0.02 + rng.Float64()*0.10,
+		InsertionRate:    0.01,
+		DeletionRate:     0.01,
+	}
+	for i := 0; i < 3+rng.Intn(4); i++ {
+		store.Add("family", gen.Mutate(rng, root, model))
+	}
+	for i := 0; i < 20+rng.Intn(40); i++ {
+		store.Add("noise", gen.RandomSequence(rng, 200+rng.Intn(600), uniform, 0))
+	}
+	idx, err := index.Build(&store, index.Options{K: 8, StoreOffsets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &store, idx, gen.Fragment(rng, root, 150+rng.Intn(100))
+}
+
+// TestStatsEquivalenceProperty is the satellite property test: for
+// random databases and queries, SearchWithStats returns results
+// identical to Search — same IDs, scores, order, spans, transcripts —
+// across every CoarseMode/FineMode combination, with and without
+// prescreen, both strands, and a parallel fine phase. Instrumentation
+// must observe, never perturb.
+func TestStatsEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1996))
+	for trial := 0; trial < 8; trial++ {
+		store, idx, query := randomFixture(t, rng)
+		for _, cm := range []CoarseMode{CoarseDistinct, CoarseTotal, CoarseNormalised, CoarseDiagonal} {
+			for _, fm := range []FineMode{FineFull, FineBanded} {
+				opts := DefaultOptions()
+				opts.CoarseMode = cm
+				opts.FineMode = fm
+				opts.MinCoarseHits = 1 + rng.Intn(2)
+				opts.BothStrands = rng.Intn(2) == 0
+				if rng.Intn(2) == 0 {
+					opts.Prescreen = 40
+				}
+				if rng.Intn(2) == 0 {
+					opts.FineWorkers = 4
+				}
+
+				// Fresh searchers so scratch-state reuse cannot leak
+				// between the two runs.
+				plain := newStatsTestSearcher(t, idx, store)
+				instr := newStatsTestSearcher(t, idx, store)
+				want, err := plain.Search(query, opts)
+				if err != nil {
+					t.Fatalf("trial %d %v/%v: %v", trial, cm, fm, err)
+				}
+				var st SearchStats
+				got, err := instr.SearchWithStats(query, opts, &st)
+				if err != nil {
+					t.Fatalf("trial %d %v/%v (stats): %v", trial, cm, fm, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d %v/%v: instrumented results differ\nplain: %+v\nstats: %+v",
+						trial, cm, fm, want, got)
+				}
+				checkStatsInvariants(t, &st, opts, want)
+			}
+		}
+	}
+}
+
+func newStatsTestSearcher(t *testing.T, idx *index.Index, store *db.Store) *Searcher {
+	t.Helper()
+	s, err := NewSearcher(idx, store, align.DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// checkStatsInvariants asserts the structural relations every
+// SearchStats must satisfy, whatever the workload.
+func checkStatsInvariants(t *testing.T, st *SearchStats, opts Options, results []Result) {
+	t.Helper()
+	if st.FineAlignments > st.CoarseCandidates {
+		t.Fatalf("FineAlignments %d > CoarseCandidates %d", st.FineAlignments, st.CoarseCandidates)
+	}
+	// Every admitted candidate is either prescreen-rejected or aligned.
+	if st.FineAlignments+st.PrescreenRejections != st.CoarseCandidates {
+		t.Fatalf("FineAlignments %d + PrescreenRejections %d != CoarseCandidates %d",
+			st.FineAlignments, st.PrescreenRejections, st.CoarseCandidates)
+	}
+	if opts.Prescreen == 0 && st.PrescreenRejections != 0 {
+		t.Fatalf("prescreen disabled but %d rejections", st.PrescreenRejections)
+	}
+	if st.PostingLists > st.QueryTerms {
+		t.Fatalf("PostingLists %d > QueryTerms %d", st.PostingLists, st.QueryTerms)
+	}
+	if int64(st.CoarseSequences) > st.PostingsDecoded {
+		t.Fatalf("CoarseSequences %d > PostingsDecoded %d", st.CoarseSequences, st.PostingsDecoded)
+	}
+	if st.FineAlignments > 0 && st.FineDPCells == 0 {
+		t.Fatalf("%d fine alignments evaluated 0 DP cells", st.FineAlignments)
+	}
+	if st.TracebackAlignments > len(results) {
+		t.Fatalf("TracebackAlignments %d > %d results", st.TracebackAlignments, len(results))
+	}
+	if st.Results != len(results) {
+		t.Fatalf("Results %d != len(results) %d", st.Results, len(results))
+	}
+	wantStrands := 1
+	if opts.BothStrands {
+		wantStrands = 2
+	}
+	if st.Strands != wantStrands {
+		t.Fatalf("Strands = %d, want %d", st.Strands, wantStrands)
+	}
+	checkDurationInvariants(t, st, opts)
+}
+
+func checkDurationInvariants(t *testing.T, st *SearchStats, opts Options) {
+	t.Helper()
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"CoarseTime", st.CoarseTime},
+		{"PrescreenTime", st.PrescreenTime},
+		{"FineTime", st.FineTime},
+		{"TracebackTime", st.TracebackTime},
+		{"TotalTime", st.TotalTime},
+	} {
+		if d.v < 0 {
+			t.Fatalf("%s negative: %v", d.name, d.v)
+		}
+	}
+	if st.TotalTime == 0 {
+		t.Fatal("TotalTime is zero")
+	}
+	// The stage clocks are disjoint sub-intervals of the total, so
+	// they sum to at most the total; the remainder (ranking, strand
+	// merging, result assembly) is small.
+	if st.StageTime() > st.TotalTime {
+		t.Fatalf("stage times %v exceed total %v", st.StageTime(), st.TotalTime)
+	}
+	if gap := st.TotalTime - st.StageTime(); gap > st.TotalTime/2+100*time.Millisecond {
+		t.Fatalf("stages %v account for too little of total %v", st.StageTime(), st.TotalTime)
+	}
+	// Per-candidate prescreen clocks are subsets of the fine phase;
+	// only a parallel fine phase can sum past its wall clock.
+	if opts.FineWorkers <= 1 && st.PrescreenTime > st.FineTime {
+		t.Fatalf("serial PrescreenTime %v > FineTime %v", st.PrescreenTime, st.FineTime)
+	}
+}
+
+// TestStatsResetZeroes is the satellite invariant: a reset stats
+// struct is indistinguishable from a fresh one.
+func TestStatsResetZeroes(t *testing.T) {
+	f := makeFixture(t, 17, index.Options{K: 9, StoreOffsets: true})
+	s := newTestSearcher(t, f)
+	var st SearchStats
+	if _, err := s.SearchWithStats(f.query, DefaultOptions(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.PostingsDecoded == 0 || st.TotalTime == 0 {
+		t.Fatalf("search collected nothing: %+v", st)
+	}
+	st.Reset()
+	if st != (SearchStats{}) {
+		t.Fatalf("Reset left state behind: %+v", st)
+	}
+}
+
+// TestStatsResetBetweenSearches: SearchWithStats resets the struct, so
+// reusing one across queries reports per-query (not cumulative) work.
+func TestStatsResetBetweenSearches(t *testing.T) {
+	f := makeFixture(t, 23, index.Options{K: 9, StoreOffsets: true})
+	s := newTestSearcher(t, f)
+	var st SearchStats
+	if _, err := s.SearchWithStats(f.query, DefaultOptions(), &st); err != nil {
+		t.Fatal(err)
+	}
+	first := st
+	if _, err := s.SearchWithStats(f.query, DefaultOptions(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.PostingsDecoded != first.PostingsDecoded || st.CoarseCandidates != first.CoarseCandidates {
+		t.Fatalf("same query, different work: first %+v, second %+v", first, st)
+	}
+}
+
+// TestStatsAdd: aggregation is field-wise addition.
+func TestStatsAdd(t *testing.T) {
+	f := makeFixture(t, 29, index.Options{K: 9, StoreOffsets: true})
+	s := newTestSearcher(t, f)
+	var st, agg SearchStats
+	const n = 3
+	for i := 0; i < n; i++ {
+		if _, err := s.SearchWithStats(f.query, DefaultOptions(), &st); err != nil {
+			t.Fatal(err)
+		}
+		agg.Add(st)
+	}
+	if agg.PostingsDecoded != n*st.PostingsDecoded {
+		t.Fatalf("aggregated PostingsDecoded %d, want %d", agg.PostingsDecoded, n*st.PostingsDecoded)
+	}
+	if agg.Strands != n {
+		t.Fatalf("aggregated Strands %d, want %d", agg.Strands, n)
+	}
+	if agg.DPCells() != n*st.DPCells() {
+		t.Fatalf("aggregated DPCells %d, want %d", agg.DPCells(), n*st.DPCells())
+	}
+}
+
+// TestStatsCountsRealWork sanity-checks the headline counters against
+// the fixture: a homologous query must decode postings, admit
+// candidates, and align some of the database.
+func TestStatsCountsRealWork(t *testing.T) {
+	f := makeFixture(t, 31, index.Options{K: 9, StoreOffsets: true})
+	s := newTestSearcher(t, f)
+	var st SearchStats
+	rs, err := s.SearchWithStats(f.query, DefaultOptions(), &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no results")
+	}
+	if st.QueryTerms == 0 || st.PostingLists == 0 || st.PostingsDecoded == 0 {
+		t.Fatalf("coarse phase counted no work: %+v", st)
+	}
+	if st.PostingsBytesRead == 0 {
+		t.Fatal("no postings bytes accounted")
+	}
+	if st.CoarseCandidates == 0 || st.FineAlignments == 0 || st.FineDPCells == 0 {
+		t.Fatalf("fine phase counted no work: %+v", st)
+	}
+	if st.TracebackAlignments == 0 || st.TracebackDPCells == 0 {
+		t.Fatalf("tracebacks counted no work: %+v", st)
+	}
+}
+
+// TestStatsPrescreenAccounting: with a prohibitive prescreen threshold
+// every candidate is rejected and no fine alignment runs.
+func TestStatsPrescreenAccounting(t *testing.T) {
+	f := makeFixture(t, 37, index.Options{K: 9, StoreOffsets: true})
+	s := newTestSearcher(t, f)
+	opts := DefaultOptions()
+	opts.Prescreen = 1 << 28
+	var st SearchStats
+	rs, err := s.SearchWithStats(f.query, opts, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Fatalf("prohibitive prescreen returned %d results", len(rs))
+	}
+	if st.FineAlignments != 0 {
+		t.Fatalf("prescreen passed %d candidates", st.FineAlignments)
+	}
+	if st.PrescreenRejections != st.CoarseCandidates || st.CoarseCandidates == 0 {
+		t.Fatalf("rejections %d != candidates %d", st.PrescreenRejections, st.CoarseCandidates)
+	}
+}

@@ -424,10 +424,20 @@ func (x *Index) listPayload(i int) ([]byte, error) {
 // terms. Skip-encoded lists iterate identically; use SkippedReader for
 // SeekGE access.
 func (x *Index) Reader(t kmer.Term, it *postings.Iterator) int {
+	df, _ := x.ReaderStats(t, it)
+	return df
+}
+
+// ReaderStats positions it like Reader and additionally reports the
+// compressed byte size of the list handed to the iterator — the I/O
+// cost the query-pipeline stats account for, free to report here
+// because the buffer is already in hand. bytes is what a paged index
+// read from disk for this term (zero for absent terms).
+func (x *Index) ReaderStats(t kmer.Term, it *postings.Iterator) (df, bytes int) {
 	i := x.lookup(t)
 	if i < 0 {
 		it.Reset(nil, 0, x.numSeqs, x.opts.StoreOffsets)
-		return 0
+		return 0, 0
 	}
 	payload, err := x.listPayload(i)
 	if err != nil {
@@ -435,10 +445,10 @@ func (x *Index) Reader(t kmer.Term, it *postings.Iterator) int {
 		// header here is internal corruption, surfaced via the
 		// iterator's error channel by handing it a truncated buffer.
 		it.Reset(nil, int(x.dfs[i]), x.numSeqs, x.opts.StoreOffsets)
-		return int(x.dfs[i])
+		return int(x.dfs[i]), 0
 	}
 	it.Reset(payload, int(x.dfs[i]), x.numSeqs, x.opts.StoreOffsets)
-	return int(x.dfs[i])
+	return int(x.dfs[i]), len(payload)
 }
 
 // SkippedReader returns a seekable iterator over term t's list, or nil

@@ -1,0 +1,303 @@
+// Package metrics provides the process-wide observability primitives
+// the query pipeline reports through: atomic counters, fixed-bucket
+// latency histograms, and a registry that exports everything as JSON
+// or through expvar. The primitives are deliberately minimal — no
+// labels, no dependency beyond the standard library — and safe for
+// concurrent use: every mutation is a single atomic operation, so
+// recording on the search path costs a handful of uncontended atomic
+// adds and never takes a lock.
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing (between resets) int64, safe
+// for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// numBuckets covers 1µs up to ~9 minutes with power-of-two bucket
+// boundaries; slower observations land in the last bucket.
+const numBuckets = 30
+
+// Histogram records durations into exponential buckets (bucket i holds
+// observations ≤ 1µs·2^i). All fields are atomics, so Observe is
+// lock-free and the histogram is safe for concurrent use. Quantile
+// estimates are upper bucket bounds — exact enough to tell a 50µs
+// coarse phase from a 5ms fine phase, which is what stage accounting
+// needs.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// bucketFor returns the index of the smallest bucket whose upper bound
+// is ≥ d.
+func bucketFor(d time.Duration) int {
+	if d <= time.Microsecond {
+		return 0
+	}
+	// ceil(log2(d in µs)), clamped to the last bucket.
+	us := uint64((d + time.Microsecond - 1) / time.Microsecond)
+	b := bits.Len64(us - 1)
+	if b >= numBuckets {
+		return numBuckets - 1
+	}
+	return b
+}
+
+// BucketBound returns bucket i's inclusive upper bound.
+func BucketBound(i int) time.Duration { return time.Microsecond << i }
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Mean returns the average observation, zero when empty.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Reset zeroes every bucket and the count and sum.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) as the upper bound of
+// the bucket containing it; zero when the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	return h.Quantiles(q)[0]
+}
+
+// Quantiles estimates several quantiles from one consistent snapshot
+// of the buckets, so the results are monotone in q even while other
+// goroutines keep observing.
+func (h *Histogram) Quantiles(qs ...float64) []time.Duration {
+	var counts [numBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	out := make([]time.Duration, len(qs))
+	if total == 0 {
+		return out
+	}
+	for k, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		rank := int64(q * float64(total))
+		if rank >= total {
+			rank = total - 1
+		}
+		var cum int64
+		for i := range counts {
+			cum += counts[i]
+			if cum > rank {
+				out[k] = BucketBound(i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Registry names a set of counters and histograms. Lookup/creation
+// takes a mutex; the returned handles mutate lock-free, so callers on
+// hot paths fetch handles once and hold them.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every registered counter and histogram (the instruments
+// stay registered; handles stay valid).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.Reset()
+	}
+	for _, h := range r.hists {
+		h.Reset()
+	}
+}
+
+// HistogramSnapshot is the exported view of one histogram.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P90US  float64 `json:"p90_us"`
+	P99US  float64 `json:"p99_us"`
+}
+
+// Snapshot is a point-in-time copy of a registry's instruments.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, h := range r.hists {
+		qs := h.Quantiles(0.50, 0.90, 0.99)
+		s.Histograms[name] = HistogramSnapshot{
+			Count:  h.Count(),
+			MeanUS: float64(h.Mean()) / float64(time.Microsecond),
+			P50US:  float64(qs[0]) / float64(time.Microsecond),
+			P90US:  float64(qs[1]) / float64(time.Microsecond),
+			P99US:  float64(qs[2]) / float64(time.Microsecond),
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// WriteText writes the snapshot as one "name value" line per counter
+// and one summary line per histogram, sorted by name — the
+// human-facing form of the same data.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%-32s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "%-32s count %d  mean %.0fµs  p50 %.0fµs  p90 %.0fµs  p99 %.0fµs\n",
+			name, h.Count, h.MeanUS, h.P50US, h.P90US, h.P99US); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// defaultRegistry is the process-wide registry the engine records into.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+var publishOnce sync.Once
+
+// PublishExpvar exposes the default registry under the expvar name
+// "nucleodb" (so any expvar endpoint serves engine metrics). Safe to
+// call more than once; only the first call publishes.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("nucleodb", expvar.Func(func() any {
+			return defaultRegistry.Snapshot()
+		}))
+	})
+}

@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+	c.Reset()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("after Reset, Value = %d, want 0", got)
+	}
+}
+
+func TestHistogramCountSumMean(t *testing.T) {
+	var h Histogram
+	h.Observe(2 * time.Millisecond)
+	h.Observe(4 * time.Millisecond)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+	if h.Sum() != 6*time.Millisecond {
+		t.Fatalf("Sum = %v, want 6ms", h.Sum())
+	}
+	if h.Mean() != 3*time.Millisecond {
+		t.Fatalf("Mean = %v, want 3ms", h.Mean())
+	}
+}
+
+func TestHistogramResetZeroes(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatalf("after Reset: count %d sum %v mean %v, want all zero", h.Count(), h.Sum(), h.Mean())
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("after Reset: p50 = %v, want 0", q)
+	}
+}
+
+// TestHistogramQuantilesMonotone is the satellite invariant: for any
+// observation set, quantile estimates never decrease as q increases.
+func TestHistogramQuantilesMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var h Histogram
+		n := 1 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			h.Observe(time.Duration(rng.Int63n(int64(10 * time.Second))))
+		}
+		qs := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1}
+		vals := h.Quantiles(qs...)
+		for i := 1; i < len(vals); i++ {
+			if vals[i] < vals[i-1] {
+				t.Fatalf("trial %d: quantiles not monotone: q=%.2f → %v but q=%.2f → %v",
+					trial, qs[i-1], vals[i-1], qs[i], vals[i])
+			}
+		}
+		if vals[len(vals)-1] <= 0 {
+			t.Fatalf("trial %d: max quantile %v not positive", trial, vals[len(vals)-1])
+		}
+	}
+}
+
+// TestHistogramQuantileBrackets checks the estimate is the upper bucket
+// bound of the true quantile: at least the true value, at most 2× it
+// (bucket ratio), for identical observations.
+func TestHistogramQuantileBrackets(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(300 * time.Microsecond)
+	}
+	got := h.Quantile(0.5)
+	if got < 300*time.Microsecond || got > 600*time.Microsecond {
+		t.Fatalf("p50 of constant 300µs = %v, want within [300µs, 600µs]", got)
+	}
+}
+
+func TestBucketForBounds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{-time.Second, 0}, // Observe clamps, bucketFor tolerates
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{time.Hour, numBuckets - 1},
+	}
+	for _, c := range cases {
+		if c.d < 0 {
+			continue
+		}
+		if got := bucketFor(c.d); got != c.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	for i := 0; i < numBuckets; i++ {
+		if got := bucketFor(BucketBound(i)); got != i {
+			t.Errorf("bucketFor(BucketBound(%d)) = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestRegistryHandlesAndReset(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x")
+	c2 := r.Counter("x")
+	if c1 != c2 {
+		t.Fatal("Counter(\"x\") returned distinct handles")
+	}
+	c1.Add(5)
+	r.Histogram("lat").Observe(time.Millisecond)
+	r.Reset()
+	if c1.Value() != 0 {
+		t.Fatalf("counter survives registry Reset: %d", c1.Value())
+	}
+	if n := r.Histogram("lat").Count(); n != 0 {
+		t.Fatalf("histogram survives registry Reset: %d", n)
+	}
+}
+
+func TestRegistryJSONExport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("searches_total").Add(3)
+	r.Histogram("search_latency").Observe(2 * time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if snap.Counters["searches_total"] != 3 {
+		t.Fatalf("searches_total = %d, want 3", snap.Counters["searches_total"])
+	}
+	h, ok := snap.Histograms["search_latency"]
+	if !ok || h.Count != 1 {
+		t.Fatalf("search_latency snapshot missing or wrong: %+v", snap.Histograms)
+	}
+	if h.P50US < h.MeanUS/2 || h.P99US < h.P50US {
+		t.Fatalf("implausible quantiles: %+v", h)
+	}
+}
+
+func TestRegistryTextExport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Add(1)
+	r.Histogram("lat").Observe(time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a_total") || !strings.Contains(out, "b_total") || !strings.Contains(out, "p99") {
+		t.Fatalf("text export missing fields:\n%s", out)
+	}
+	if strings.Index(out, "a_total") > strings.Index(out, "b_total") {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	PublishExpvar()
+	PublishExpvar() // second call must not panic on duplicate name
+}

@@ -188,6 +188,11 @@ func (it *Iterator) Next() bool {
 // Offsets slice is reused by subsequent Next calls.
 func (it *Iterator) Entry() Entry { return it.cur }
 
+// Decoded returns the number of entries decoded since Reset — the
+// work-accounting hook the search pipeline's stats use. It equals the
+// document frequency once the list is exhausted.
+func (it *Iterator) Decoded() int { return it.read }
+
 // skipBits discards n leading bits; the skip machinery uses it to
 // resynchronise an iterator at a mid-byte synchronisation point.
 func (it *Iterator) skipBits(n uint) {

@@ -27,12 +27,14 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"nucleodb/internal/align"
 	"nucleodb/internal/core"
 	"nucleodb/internal/db"
 	"nucleodb/internal/dna"
 	"nucleodb/internal/index"
+	"nucleodb/internal/metrics"
 	"nucleodb/internal/stats"
 )
 
@@ -373,6 +375,157 @@ type Result struct {
 	EValue float64
 }
 
+// SearchStats reports the work one search performed, stage by stage:
+// the coarse phase's index traffic, the prescreen's filtering, the
+// fine phase's dynamic programming, and the per-stage wall time. It is
+// the engine's observability currency — cafe-search prints it behind
+// -stats, cafe-bench emits it in its JSON report, and every search
+// feeds the same numbers into the process-wide metrics registry.
+type SearchStats struct {
+	// Strands is 1, or 2 when both strands were searched.
+	Strands int `json:"strands"`
+	// QueryTerms is the number of distinct query intervals extracted.
+	QueryTerms int `json:"query_terms"`
+	// PostingLists is the number of non-empty posting lists read.
+	PostingLists int `json:"posting_lists"`
+	// PostingsDecoded is the number of posting entries decoded — the
+	// coarse phase's unit of work.
+	PostingsDecoded int64 `json:"postings_decoded"`
+	// PostingsBytesRead is the compressed size of the lists read; on a
+	// paged database this is bytes fetched from disk.
+	PostingsBytesRead int64 `json:"postings_bytes_read"`
+	// CoarseSequences is the number of sequences the coarse ranking
+	// touched before thresholds and the candidate budget.
+	CoarseSequences int `json:"coarse_sequences"`
+	// CoarseCandidates is the number of candidates admitted to the
+	// post-coarse phases.
+	CoarseCandidates int `json:"coarse_candidates"`
+	// PrescreenRejections is the number of candidates the ungapped
+	// extension prescreen discarded before fine alignment.
+	PrescreenRejections int `json:"prescreen_rejections"`
+	// FineAlignments is the number of fine-phase alignments run; at
+	// most CoarseCandidates.
+	FineAlignments int `json:"fine_alignments"`
+	// TracebackAlignments is the number of deferred tracebacks run for
+	// reported results.
+	TracebackAlignments int `json:"traceback_alignments"`
+	// FineDPCells and TracebackDPCells count the dynamic-programming
+	// cells evaluated — the fraction of the database actually aligned.
+	FineDPCells      int64 `json:"fine_dp_cells"`
+	TracebackDPCells int64 `json:"traceback_dp_cells"`
+	// Results is the number of answers returned.
+	Results int `json:"results"`
+	// Stage wall times. Coarse, fine and traceback clocks are disjoint
+	// intervals summing to at most TotalTime; PrescreenTime is a
+	// per-candidate subset of FineTime (summed across workers when the
+	// fine phase is parallel).
+	CoarseTime    time.Duration `json:"coarse_ns"`
+	PrescreenTime time.Duration `json:"prescreen_ns"`
+	FineTime      time.Duration `json:"fine_ns"`
+	TracebackTime time.Duration `json:"traceback_ns"`
+	TotalTime     time.Duration `json:"total_ns"`
+}
+
+// DPCells returns the total dynamic-programming cells evaluated.
+func (s SearchStats) DPCells() int64 { return s.FineDPCells + s.TracebackDPCells }
+
+// Add accumulates o into s field by field, for aggregating the stats
+// of many queries.
+func (s *SearchStats) Add(o SearchStats) {
+	s.Strands += o.Strands
+	s.QueryTerms += o.QueryTerms
+	s.PostingLists += o.PostingLists
+	s.PostingsDecoded += o.PostingsDecoded
+	s.PostingsBytesRead += o.PostingsBytesRead
+	s.CoarseSequences += o.CoarseSequences
+	s.CoarseCandidates += o.CoarseCandidates
+	s.PrescreenRejections += o.PrescreenRejections
+	s.FineAlignments += o.FineAlignments
+	s.TracebackAlignments += o.TracebackAlignments
+	s.FineDPCells += o.FineDPCells
+	s.TracebackDPCells += o.TracebackDPCells
+	s.Results += o.Results
+	s.CoarseTime += o.CoarseTime
+	s.PrescreenTime += o.PrescreenTime
+	s.FineTime += o.FineTime
+	s.TracebackTime += o.TracebackTime
+	s.TotalTime += o.TotalTime
+}
+
+func searchStatsFrom(cs core.SearchStats) SearchStats {
+	return SearchStats{
+		Strands:             cs.Strands,
+		QueryTerms:          cs.QueryTerms,
+		PostingLists:        cs.PostingLists,
+		PostingsDecoded:     cs.PostingsDecoded,
+		PostingsBytesRead:   cs.PostingsBytesRead,
+		CoarseSequences:     cs.CoarseSequences,
+		CoarseCandidates:    cs.CoarseCandidates,
+		PrescreenRejections: cs.PrescreenRejections,
+		FineAlignments:      cs.FineAlignments,
+		TracebackAlignments: cs.TracebackAlignments,
+		FineDPCells:         cs.FineDPCells,
+		TracebackDPCells:    cs.TracebackDPCells,
+		Results:             cs.Results,
+		CoarseTime:          cs.CoarseTime,
+		PrescreenTime:       cs.PrescreenTime,
+		FineTime:            cs.FineTime,
+		TracebackTime:       cs.TracebackTime,
+		TotalTime:           cs.TotalTime,
+	}
+}
+
+// Handles into the process-wide registry, fetched once: recording a
+// search is a dozen uncontended atomic adds.
+var (
+	mSearches         = metrics.Default().Counter("searches_total")
+	mPostingsDecoded  = metrics.Default().Counter("postings_decoded_total")
+	mPostingsBytes    = metrics.Default().Counter("postings_bytes_read_total")
+	mCoarseCandidates = metrics.Default().Counter("coarse_candidates_total")
+	mPrescreenRejects = metrics.Default().Counter("prescreen_rejections_total")
+	mFineAlignments   = metrics.Default().Counter("fine_alignments_total")
+	mTracebacks       = metrics.Default().Counter("traceback_alignments_total")
+	mDPCells          = metrics.Default().Counter("dp_cells_total")
+	mResults          = metrics.Default().Counter("results_total")
+	hSearchLatency    = metrics.Default().Histogram("search_latency")
+	hCoarseLatency    = metrics.Default().Histogram("coarse_stage_latency")
+	hFineLatency      = metrics.Default().Histogram("fine_stage_latency")
+)
+
+// recordSearchMetrics folds one search's stats into the process-wide
+// registry (see WriteMetrics).
+func recordSearchMetrics(st SearchStats) {
+	mSearches.Inc()
+	mPostingsDecoded.Add(st.PostingsDecoded)
+	mPostingsBytes.Add(st.PostingsBytesRead)
+	mCoarseCandidates.Add(int64(st.CoarseCandidates))
+	mPrescreenRejects.Add(int64(st.PrescreenRejections))
+	mFineAlignments.Add(int64(st.FineAlignments))
+	mTracebacks.Add(int64(st.TracebackAlignments))
+	mDPCells.Add(st.DPCells())
+	mResults.Add(int64(st.Results))
+	hSearchLatency.Observe(st.TotalTime)
+	hCoarseLatency.Observe(st.CoarseTime)
+	hFineLatency.Observe(st.FineTime)
+}
+
+// WriteMetrics writes the process-wide metrics — totals and latency
+// quantiles aggregated over every search this process ran, whichever
+// Database ran it — as JSON.
+func WriteMetrics(w io.Writer) error { return metrics.Default().WriteJSON(w) }
+
+// WriteMetricsText writes the same process-wide metrics in a
+// line-per-instrument text form.
+func WriteMetricsText(w io.Writer) error { return metrics.Default().WriteText(w) }
+
+// ResetMetrics zeroes the process-wide metrics.
+func ResetMetrics() { metrics.Default().Reset() }
+
+// PublishMetrics exposes the process-wide metrics through expvar under
+// the name "nucleodb", for processes that serve an expvar endpoint.
+// Idempotent.
+func PublishMetrics() { metrics.PublishExpvar() }
+
 // Search evaluates a query given as IUPAC letters and returns ranked
 // answers.
 func (d *Database) Search(query string, opts SearchOptions) ([]Result, error) {
@@ -383,15 +536,35 @@ func (d *Database) Search(query string, opts SearchOptions) ([]Result, error) {
 	return d.SearchCodes(codes, opts)
 }
 
+// SearchWithStats evaluates a query and also returns the per-stage
+// work and latency breakdown of the evaluation. Results are identical
+// to Search's (the stats collection only observes).
+func (d *Database) SearchWithStats(query string, opts SearchOptions) ([]Result, SearchStats, error) {
+	codes, err := dna.Encode([]byte(query))
+	if err != nil {
+		return nil, SearchStats{}, fmt.Errorf("nucleodb: query: %w", err)
+	}
+	return d.SearchCodesWithStats(codes, opts)
+}
+
 // SearchCodes evaluates a query already in internal code form; callers
 // holding dna codes (e.g. from another record) avoid a re-encode.
 func (d *Database) SearchCodes(codes []byte, opts SearchOptions) ([]Result, error) {
+	rs, _, err := d.SearchCodesWithStats(codes, opts)
+	return rs, err
+}
+
+// SearchCodesWithStats is SearchWithStats for pre-encoded queries.
+func (d *Database) SearchCodesWithStats(codes []byte, opts SearchOptions) ([]Result, SearchStats, error) {
+	var cst core.SearchStats
 	d.mu.Lock()
-	rs, err := d.searcher.Search(codes, opts.internal())
+	rs, err := d.searcher.SearchWithStats(codes, opts.internal(), &cst)
 	d.mu.Unlock()
 	if err != nil {
-		return nil, fmt.Errorf("nucleodb: %w", err)
+		return nil, SearchStats{}, fmt.Errorf("nucleodb: %w", err)
 	}
+	st := searchStatsFrom(cst)
+	recordSearchMetrics(st)
 	params, statsErr := d.Statistics()
 	out := make([]Result, len(rs))
 	for i, r := range rs {
@@ -411,7 +584,7 @@ func (d *Database) SearchCodes(codes []byte, opts SearchOptions) ([]Result, erro
 			out[i].EValue = params.EValue(r.Score, len(codes), d.store.TotalBases())
 		}
 	}
-	return out, nil
+	return out, st, nil
 }
 
 // Statistics returns the Karlin–Altschul parameters for the database's
