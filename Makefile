@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench check examples experiments fmt vet clean
+.PHONY: all build test test-race cover bench check lint fuzz-smoke examples experiments fmt vet clean
 
 all: build test
 
@@ -21,15 +21,31 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# The full pre-commit gate: static checks, the race-enabled test suite,
-# and a build of every command-line tool. The race pass runs -short:
-# it is there to catch data races in the concurrent paths, and the
-# full experiment suite under the race detector exceeds the package
-# test timeout (run `make test` / `make test-race` for those).
-check:
+# The full pre-commit gate: static checks (vet plus the repo's own
+# cafe-lint pass suite), the race-enabled test suite, a build of every
+# command-line tool, and a short fuzz smoke over the decode kernels.
+# The race pass runs -short: it is there to catch data races in the
+# concurrent paths, and the full experiment suite under the race
+# detector exceeds the package test timeout (run `make test` /
+# `make test-race` for those).
+check: lint
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
 	$(GO) build ./cmd/...
+	$(MAKE) fuzz-smoke
+
+# cafe-lint enforces the //cafe:hotpath allocation contract, checked
+# errors in the decode packages, and nil-guarded SearchStats writes.
+lint:
+	$(GO) run ./cmd/cafe-lint ./...
+
+# ~10s total: each native fuzz target gets 2s of mutation on top of its
+# committed corpus. CI-sized; run `go test -fuzz` locally for real runs.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzVarint$$' -fuzztime=2s ./internal/compress
+	$(GO) test -run='^$$' -fuzz='^FuzzPostingsDecode$$' -fuzztime=2s ./internal/postings
+	$(GO) test -run='^$$' -fuzz='^FuzzKmerRoundtrip$$' -fuzztime=2s ./internal/kmer
+	$(GO) test -run='^$$' -fuzz='^FuzzSequenceDecode$$' -fuzztime=2s ./internal/db
 
 examples:
 	$(GO) run ./examples/quickstart/

@@ -1,0 +1,118 @@
+// Command cafe-lint runs the repository's static-analysis pass suite
+// (see internal/analysis) over the module and reports findings as
+//
+//	file:line: pass: message
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+//
+// Usage:
+//
+//	cafe-lint ./...              # whole module (the directory's module)
+//	cafe-lint ./internal/index   # restrict findings to one package
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nucleodb/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cafe-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "directory whose module to analyze")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: cafe-lint [-C dir] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	prog, err := analysis.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	keep, err := matcher(prog, *dir, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	findings := analysis.Analyze(prog, analysis.DefaultPasses(), keep)
+	for _, line := range analysis.Format(prog, findings) {
+		fmt.Fprintln(stdout, line)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "cafe-lint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// matcher converts go-style package patterns (./..., ./internal/index,
+// nucleodb/internal/postings) into a package filter. The whole module
+// is always loaded — cross-package facts like //cafe:hotpath need it —
+// and the patterns only select which packages may report findings.
+func matcher(prog *analysis.Program, dir string, patterns []string) (func(string) bool, error) {
+	var prefixes []string // match path == p or strings.HasPrefix(path, p+"/")
+	var exact []string
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "" || pat == "." {
+				return nil, nil // everything
+			}
+		}
+		path := pat
+		if pat == "." || strings.HasPrefix(pat, "./") || strings.HasPrefix(pat, "../") {
+			abs, err := filepath.Abs(filepath.Join(dir, pat))
+			if err != nil {
+				return nil, fmt.Errorf("cafe-lint: %w", err)
+			}
+			rel, err := filepath.Rel(prog.Root, abs)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				return nil, fmt.Errorf("cafe-lint: %s is outside module %s", pat, prog.Module)
+			}
+			if rel == "." {
+				path = prog.Module
+			} else {
+				path = prog.Module + "/" + filepath.ToSlash(rel)
+			}
+		}
+		if recursive {
+			prefixes = append(prefixes, path)
+		} else {
+			exact = append(exact, path)
+		}
+	}
+	return func(pkgPath string) bool {
+		for _, p := range exact {
+			if pkgPath == p {
+				return true
+			}
+		}
+		for _, p := range prefixes {
+			if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+				return true
+			}
+		}
+		return false
+	}, nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const fixtureModule = "../../internal/analysis/testdata/src/fixture"
+
+// TestRunFixtureModule drives the CLI end to end against the seeded
+// fixture module: dirty tree → exit 1 with findings on stdout, a clean
+// package selection → exit 0, no module → exit 2.
+func TestRunFixtureModule(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", fixtureModule, "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d on a module with seeded violations, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+	for _, marker := range []string{": hotpath: ", ": directive: "} {
+		if !strings.Contains(out.String(), marker) {
+			t.Errorf("stdout lacks a %q finding:\n%s", marker, out.String())
+		}
+	}
+	if !strings.Contains(errb.String(), "finding(s)") {
+		t.Errorf("stderr lacks the finding count: %q", errb.String())
+	}
+
+	// fixture/errs has no hotpath annotations and the default errcheck
+	// scope names this repo's packages, so selecting it must be clean.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-C", fixtureModule, "./errs"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on a clean package selection, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean selection still printed findings:\n%s", out.String())
+	}
+}
+
+func TestRunNoModule(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", t.TempDir(), "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d outside any module, want 2\nstderr:\n%s", code, errb.String())
+	}
+}

@@ -191,6 +191,8 @@ loop:
 // coarse phase already located. The score is a lower bound on the
 // unrestricted local score and equals it whenever the optimal alignment
 // stays inside the band.
+//
+//cafe:hotpath
 func BandedLocalScore(a, b []byte, centre, band int, s Scoring) (score, aEnd, bEnd int) {
 	if len(a) == 0 || len(b) == 0 || band < 0 {
 		return 0, 0, 0
@@ -198,10 +200,10 @@ func BandedLocalScore(a, b []byte, centre, band int, s Scoring) (score, aEnd, bE
 	lo, hi := centre-band, centre+band // inclusive diagonal range
 	width := 2*band + 1
 	// h[c], e[c]: DP states for diagonal lo+c on the current row.
-	h := make([]int32, width)
-	e := make([]int32, width)
-	prevH := make([]int32, width)
-	prevE := make([]int32, width)
+	h := make([]int32, width)     //cafe:allow O(band) setup, outside the per-cell inner loop
+	e := make([]int32, width)     //cafe:allow O(band) setup, outside the per-cell inner loop
+	prevH := make([]int32, width) //cafe:allow O(band) setup, outside the per-cell inner loop
+	prevE := make([]int32, width) //cafe:allow O(band) setup, outside the per-cell inner loop
 	openExt := int32(s.GapOpen + s.GapExtend)
 	ext := int32(s.GapExtend)
 	const negInf = int32(-1 << 30)

@@ -54,6 +54,8 @@ const Masked byte = 0xFF
 // aligns neutrally against anything, matching how search tools treat
 // ambiguity codes. Codes outside the nucleotide alphabet (such as
 // Masked) always score as mismatches.
+//
+//cafe:hotpath
 func (s Scoring) Score(a, b byte) int {
 	if a >= dna.NumCodes || b >= dna.NumCodes {
 		return -s.Mismatch

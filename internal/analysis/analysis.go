@@ -1,0 +1,204 @@
+// Package analysis implements cafe-lint: a repo-specific static
+// analysis suite over the index and alignment kernels, built on the
+// standard library's go/parser, go/ast and go/types only.
+//
+// Three passes enforce the invariants the partitioned-search design
+// depends on:
+//
+//   - hotpath: functions declared with a //cafe:hotpath directive (the
+//     postings iterator, the bit-level decoders, the k-mer rolling
+//     hash, the banded-DP kernels, the coarse accumulators) must stay
+//     allocation-free — no make/new, no map or slice literals, no
+//     unbounded append, no fmt, no string conversions, no closures, no
+//     interface boxing — and may only call other hotpath functions (or
+//     a short list of intrinsics).
+//   - errcheck: in the decode packages (internal/index,
+//     internal/postings, internal/compress, internal/db) every
+//     error-returning call must be checked; a dropped decode error is
+//     silent index corruption.
+//   - stats: every write through a *core.SearchStats must be dominated
+//     by a nil check (the instrumentation contract PR 1 established by
+//     convention), and sync/atomic values may only be touched through
+//     their methods.
+//
+// A finding on one line can be waived with a trailing
+// "//cafe:allow <reason>" comment; the reason is mandatory. Waivers are
+// for constructs the analysis cannot prove safe but a human can: the
+// amortised scratch append inside the postings iterator, the O(band)
+// setup allocations of the banded kernel, fmt.Errorf on cold
+// corruption paths.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic, formatted "file:line: pass: message".
+type Finding struct {
+	Pos      token.Position
+	PassName string
+	Message  string
+}
+
+// String renders the finding in the tool's output format, with the file
+// path relative to base when possible.
+func (f Finding) format(base string) string {
+	file := f.Pos.Filename
+	if base != "" {
+		if rel, ok := strings.CutPrefix(file, base+"/"); ok {
+			file = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d: %s: %s", file, f.Pos.Line, f.PassName, f.Message)
+}
+
+// String renders the finding with its full file path.
+func (f Finding) String() string { return f.format("") }
+
+// Format renders every finding relative to the program root, sorted.
+func Format(prog *Program, findings []Finding) []string {
+	out := make([]string, len(findings))
+	for i, f := range findings {
+		out[i] = f.format(prog.Root)
+	}
+	return out
+}
+
+// Pass is one analysis run over a package within a loaded program.
+type Pass interface {
+	// Name is the short pass identifier used in findings.
+	Name() string
+	// Run reports the pass's findings for one package.
+	Run(prog *Program, pkg *Package) []Finding
+}
+
+// DefaultPasses returns the pass suite configured for this repository —
+// the configuration cmd/cafe-lint and the self-check test share.
+func DefaultPasses() []Pass {
+	return []Pass{
+		&HotpathPass{},
+		&ErrcheckPass{Packages: []string{
+			"nucleodb/internal/index",
+			"nucleodb/internal/postings",
+			"nucleodb/internal/compress",
+			"nucleodb/internal/db",
+		}},
+		&StatsPass{GuardedTypes: []string{
+			"nucleodb/internal/core.SearchStats",
+		}},
+	}
+}
+
+// Analyze runs every pass over every package selected by keep (nil
+// keeps all), drops findings on //cafe:allow lines, and returns the
+// remainder sorted by position.
+func Analyze(prog *Program, passes []Pass, keep func(pkgPath string) bool) []Finding {
+	var out []Finding
+	for _, pkg := range prog.Packages {
+		if keep != nil && !keep(pkg.Path) {
+			continue
+		}
+		out = append(out, pkg.badDirectives...)
+		for _, p := range passes {
+			for _, f := range p.Run(prog, pkg) {
+				if !pkg.waivedAt(f.Pos) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+// Directive prefixes. A directive comment has no space after "//", the
+// same convention as go:build and go:generate.
+const (
+	hotpathDirective = "//cafe:hotpath"
+	allowDirective   = "//cafe:allow"
+)
+
+// collectDirectives scans a package's comments for cafe: directives,
+// filling the program's hotpath set and the package's waived-line map.
+func collectDirectives(prog *Program, pkg *Package) {
+	for _, file := range pkg.Files {
+		filename := prog.Fset.Position(file.Pos()).Filename
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowDirective)
+				if !ok {
+					continue
+				}
+				pos := prog.Fset.Position(c.Pos())
+				if strings.TrimSpace(rest) == "" || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					pkg.badDirectives = append(pkg.badDirectives, Finding{
+						Pos:      pos,
+						PassName: "directive",
+						Message:  "cafe:allow needs a reason: //cafe:allow <why this is safe>",
+					})
+					continue
+				}
+				lines := pkg.waived[filename]
+				if lines == nil {
+					lines = map[int]bool{}
+					pkg.waived[filename] = lines
+				}
+				lines[pos.Line] = true
+			}
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if c.Text == hotpathDirective || strings.HasPrefix(c.Text, hotpathDirective+" ") {
+					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						prog.hot[obj] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// waivedAt reports whether pos lies on a //cafe:allow line.
+func (pkg *Package) waivedAt(pos token.Position) bool {
+	return pkg.waived[pos.Filename][pos.Line]
+}
+
+// funcDecls visits every function declaration with a body in the
+// package, in file order.
+func (pkg *Package) funcDecls(fn func(*ast.FuncDecl)) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// isErrorType reports whether t is the error interface or a type that
+// implements it (a concrete error being discarded is just as lost).
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType)
+}

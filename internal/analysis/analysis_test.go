@@ -1,0 +1,192 @@
+package analysis_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"nucleodb/internal/analysis"
+)
+
+// The fixture module under testdata/src/fixture seeds one violation per
+// construct each pass knows about, marked with trailing //violation:<pass>
+// comments. The tests diff the pass output against exactly that set:
+// a finding without a marker and a marker without a finding both fail,
+// so the clean fixtures double as false-positive regression tests.
+
+const fixtureDir = "testdata/src/fixture"
+
+var fixtureOnce = sync.OnceValues(func() (*analysis.Program, error) {
+	return analysis.Load(fixtureDir, "fixture")
+})
+
+func loadFixture(t *testing.T) *analysis.Program {
+	t.Helper()
+	prog, err := fixtureOnce()
+	if err != nil {
+		t.Fatalf("load fixture module: %v", err)
+	}
+	return prog
+}
+
+// keepOnly restricts Analyze to one fixture package.
+func keepOnly(path string) func(string) bool {
+	return func(p string) bool { return p == path }
+}
+
+// wantKeys scans a fixture package's sources for //violation:<pass>
+// markers, returning the expected "file:line pass" keys.
+func wantKeys(t *testing.T, prog *analysis.Program, pkgPath string) map[string]bool {
+	t.Helper()
+	rel := strings.TrimPrefix(pkgPath, "fixture/")
+	dir := filepath.Join(fixtureDir, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, marker, ok := strings.Cut(line, "//violation:")
+			if !ok {
+				continue
+			}
+			pass := strings.Fields(marker)[0]
+			want[fmt.Sprintf("%s/%s:%d %s", rel, e.Name(), i+1, pass)] = true
+		}
+	}
+	if len(want) == 0 {
+		t.Fatalf("no //violation markers found under %s", dir)
+	}
+	return want
+}
+
+// gotKeys reduces formatted findings ("file:line: pass: msg") to the
+// same "file:line pass" key space, deduplicating multiple findings on
+// one line, and returns the full lines for diagnostics.
+func gotKeys(t *testing.T, prog *analysis.Program, findings []analysis.Finding) (map[string]bool, map[string][]string) {
+	t.Helper()
+	got := map[string]bool{}
+	lines := map[string][]string{}
+	for _, line := range analysis.Format(prog, findings) {
+		parts := strings.SplitN(line, ": ", 3)
+		if len(parts) != 3 {
+			t.Fatalf("malformed finding %q", line)
+		}
+		key := parts[0] + " " + parts[1]
+		got[key] = true
+		lines[key] = append(lines[key], line)
+	}
+	return got, lines
+}
+
+// runPass runs one pass over one fixture package and diffs its findings
+// against the //violation markers in that package's sources.
+func runPass(t *testing.T, pass analysis.Pass, pkgPath string) {
+	t.Helper()
+	prog := loadFixture(t)
+	findings := analysis.Analyze(prog, []analysis.Pass{pass}, keepOnly(pkgPath))
+	want := wantKeys(t, prog, pkgPath)
+	got, lines := gotKeys(t, prog, findings)
+	for key := range want {
+		if !got[key] {
+			t.Errorf("marked violation not reported: %s", key)
+		}
+	}
+	for key := range got {
+		if !want[key] {
+			t.Errorf("unexpected finding: %v", lines[key])
+		}
+	}
+}
+
+func TestHotpathPassFixtures(t *testing.T) {
+	runPass(t, &analysis.HotpathPass{}, "fixture/hot")
+}
+
+func TestErrcheckPassFixtures(t *testing.T) {
+	runPass(t, &analysis.ErrcheckPass{Packages: []string{"fixture/errs"}}, "fixture/errs")
+}
+
+func TestStatsPassFixtures(t *testing.T) {
+	runPass(t, &analysis.StatsPass{GuardedTypes: []string{"fixture/stats.Stats"}}, "fixture/stats")
+}
+
+// TestErrcheckScope checks the package filter: fixture/hot drops
+// fmt.Println's error on purpose, and a pass scoped to fixture/errs
+// must not see it.
+func TestErrcheckScope(t *testing.T) {
+	prog := loadFixture(t)
+	pass := &analysis.ErrcheckPass{Packages: []string{"fixture/errs"}}
+	findings := analysis.Analyze(prog, []analysis.Pass{pass}, keepOnly("fixture/hot"))
+	if len(findings) != 0 {
+		t.Fatalf("errcheck scoped to fixture/errs reported in fixture/hot:\n%s",
+			strings.Join(analysis.Format(prog, findings), "\n"))
+	}
+}
+
+// TestDirectives checks the waiver machinery: the reasoned //cafe:allow
+// suppresses its line, the bare //cafe:allow is itself a finding, and
+// the un-waived violation still surfaces.
+func TestDirectives(t *testing.T) {
+	prog := loadFixture(t)
+	findings := analysis.Analyze(prog, []analysis.Pass{&analysis.HotpathPass{}}, keepOnly("fixture/directives"))
+
+	src, err := os.ReadFile(filepath.Join(fixtureDir, "directives", "directives.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineOf := func(substr string) int {
+		t.Helper()
+		for i, line := range strings.Split(string(src), "\n") {
+			if strings.Contains(line, substr) {
+				return i + 1
+			}
+		}
+		t.Fatalf("fixture line containing %q not found", substr)
+		return 0
+	}
+	want := map[string]bool{
+		fmt.Sprintf("directives/directives.go:%d directive", lineOf("\t//cafe:allow")): true,
+		fmt.Sprintf("directives/directives.go:%d hotpath", lineOf("append(xs, 2)")):    true,
+	}
+	got, lines := gotKeys(t, prog, findings)
+	for key := range want {
+		if !got[key] {
+			t.Errorf("expected finding missing: %s", key)
+		}
+	}
+	for key := range got {
+		if !want[key] {
+			t.Errorf("unexpected finding: %v", lines[key])
+		}
+	}
+}
+
+// TestRepoIsClean is the self-check the lint gate relies on: the
+// default pass suite over this repository must come back empty. Skipped
+// in -short runs because make check invokes cafe-lint directly.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cafe-lint runs in make check; skipping the in-test module load")
+	}
+	prog, err := analysis.LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := analysis.Analyze(prog, analysis.DefaultPasses(), nil)
+	if len(findings) != 0 {
+		t.Fatalf("default passes report findings on the repository:\n%s",
+			strings.Join(analysis.Format(prog, findings), "\n"))
+	}
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ErrcheckPass flags discarded errors in the decode packages. A call
+// whose results include an error must bind that error to a named
+// variable: bare call statements and `_` assignments both drop it, and
+// in the packages that deserialize the on-disk index a dropped error is
+// silent corruption. `defer f.Close()`-style discards are flagged too —
+// error paths there need an explicit //cafe:allow waiver stating why
+// best-effort is acceptable.
+type ErrcheckPass struct {
+	// Packages are the import paths the pass applies to. Empty means
+	// every package of the module.
+	Packages []string
+}
+
+// Name implements Pass.
+func (p *ErrcheckPass) Name() string { return "errcheck" }
+
+func (p *ErrcheckPass) applies(path string) bool {
+	if len(p.Packages) == 0 {
+		return true
+	}
+	for _, want := range p.Packages {
+		if path == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Run implements Pass.
+func (p *ErrcheckPass) Run(prog *Program, pkg *Package) []Finding {
+	if !p.applies(pkg.Path) {
+		return nil
+	}
+	var out []Finding
+	report := func(node ast.Node, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:      prog.Fset.Position(node.Pos()),
+			PassName: p.Name(),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	pkg.funcDecls(func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if i := errResultIndex(pkg.Info, call); i >= 0 {
+						report(n, "%s returns an error that is not checked", callName(pkg.Info, call))
+					}
+				}
+			case *ast.DeferStmt:
+				if i := errResultIndex(pkg.Info, n.Call); i >= 0 {
+					report(n, "deferred %s discards its error", callName(pkg.Info, n.Call))
+				}
+			case *ast.GoStmt:
+				if i := errResultIndex(pkg.Info, n.Call); i >= 0 {
+					report(n, "go %s discards its error", callName(pkg.Info, n.Call))
+				}
+			case *ast.AssignStmt:
+				p.checkAssign(pkg, report, n)
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// checkAssign flags assignments that bind an error result to `_`.
+func (p *ErrcheckPass) checkAssign(pkg *Package, report func(ast.Node, string, ...any), as *ast.AssignStmt) {
+	// Multi-value form: a, err := f(). One call on the right, its
+	// results spread across the left.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tuple, ok := pkg.Info.TypeOf(call).(*types.Tuple)
+		if !ok || tuple.Len() != len(as.Lhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				report(lhs, "error from %s assigned to _", callName(pkg.Info, call))
+			}
+		}
+		return
+	}
+	// 1:1 form: _ = f() or _ = err.
+	if len(as.Rhs) == len(as.Lhs) {
+		for i, lhs := range as.Lhs {
+			if !isBlank(lhs) {
+				continue
+			}
+			if call, ok := as.Rhs[i].(*ast.CallExpr); ok {
+				if t := pkg.Info.TypeOf(call); t != nil {
+					if isErrorType(t) {
+						report(lhs, "error from %s assigned to _", callName(pkg.Info, call))
+					}
+				}
+			} else if t := pkg.Info.TypeOf(as.Rhs[i]); isErrorType(t) {
+				report(lhs, "error value assigned to _")
+			}
+		}
+	}
+}
+
+// errResultIndex returns the index of the first error in call's
+// results, or -1 when it returns none (or is a type conversion).
+func errResultIndex(info *types.Info, call *ast.CallExpr) int {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return -1
+	}
+	t := info.TypeOf(call)
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return i
+			}
+		}
+	default:
+		if isErrorType(t) {
+			return 0
+		}
+	}
+	return -1
+}
+
+// callName renders a call target for diagnostics.
+func callName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := unparen(fun.X).(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

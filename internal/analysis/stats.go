@@ -1,0 +1,427 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// StatsPass pins the instrumentation contract: SearchStats is collected
+// through a possibly-nil pointer, so every field write and method call
+// through a *SearchStats must be dominated by a nil check, and
+// sync/atomic values may only be touched through their methods (a plain
+// assignment to an atomic value is a silent data race).
+//
+// The guard analysis is deliberately simple — it recognises the shapes
+// the codebase actually uses, not arbitrary dataflow:
+//
+//	if st != nil { st.X++ }            // direct guard
+//	collect := st != nil               // derived guard bool
+//	if collect { st.X++ }
+//	if st == nil { return }            // early return
+//	st.X++
+//
+// Inside a method whose receiver is the guarded type, the receiver is
+// assumed non-nil: the guard belongs at the call sites, which this pass
+// checks.
+type StatsPass struct {
+	// GuardedTypes are fully qualified named types
+	// ("nucleodb/internal/core.SearchStats") whose pointers demand
+	// nil-guarded access.
+	GuardedTypes []string
+}
+
+// Name implements Pass.
+func (p *StatsPass) Name() string { return "stats" }
+
+// guarded reports whether t (after stripping one pointer) is one of the
+// pass's guarded named types.
+func (p *StatsPass) guardedType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	q := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	for _, want := range p.GuardedTypes {
+		if q == want {
+			return true
+		}
+	}
+	return false
+}
+
+// guardedPointerObj returns the variable a guarded-type pointer
+// expression reads through, or nil when expr is not such an access.
+func (p *StatsPass) guardedPointerObj(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.Ident:
+			obj := info.ObjectOf(e)
+			if obj == nil {
+				return nil
+			}
+			if _, isPtr := obj.Type().Underlying().(*types.Pointer); !isPtr {
+				return nil
+			}
+			if !p.guardedType(obj.Type()) {
+				return nil
+			}
+			return obj
+		default:
+			return nil
+		}
+	}
+}
+
+// Run implements Pass.
+func (p *StatsPass) Run(prog *Program, pkg *Package) []Finding {
+	w := &statsWalker{pass: p, prog: prog, pkg: pkg, guardVars: map[types.Object]types.Object{}}
+	pkg.funcDecls(func(fd *ast.FuncDecl) {
+		w.collectGuardVars(fd.Body)
+		g := objSet{}
+		if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+			if obj := pkg.Info.Defs[fd.Recv.List[0].Names[0]]; obj != nil && p.guardedType(obj.Type()) {
+				g[obj] = true
+			}
+		}
+		w.walkStmts(fd.Body.List, g)
+	})
+	return w.out
+}
+
+type objSet map[types.Object]bool
+
+func (s objSet) clone() objSet {
+	c := make(objSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func (s objSet) union(o objSet) objSet {
+	for k := range o {
+		s[k] = true
+	}
+	return s
+}
+
+type statsWalker struct {
+	pass *StatsPass
+	prog *Program
+	pkg  *Package
+	out  []Finding
+	// guardVars maps a bool variable to the pointer it proves non-nil
+	// (collect := st != nil).
+	guardVars map[types.Object]types.Object
+}
+
+func (w *statsWalker) report(node ast.Node, format string, args ...any) {
+	w.out = append(w.out, Finding{
+		Pos:      w.prog.Fset.Position(node.Pos()),
+		PassName: w.pass.Name(),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// collectGuardVars records `v := p != nil` bindings anywhere in body.
+func (w *statsWalker) collectGuardVars(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		t, _ := w.cond(as.Rhs[0])
+		if len(t) != 1 {
+			return true
+		}
+		if obj := w.pkg.Info.ObjectOf(lhs); obj != nil {
+			for ptr := range t {
+				w.guardVars[obj] = ptr
+			}
+		}
+		return true
+	})
+}
+
+// cond evaluates a boolean expression to the sets of guarded pointers
+// proven non-nil when it is true, respectively false.
+func (w *statsWalker) cond(e ast.Expr) (whenTrue, whenFalse objSet) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return w.cond(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			f, t := w.cond(e.X)
+			return t, f
+		}
+	case *ast.Ident:
+		if ptr, ok := w.guardVars[w.pkg.Info.ObjectOf(e)]; ok {
+			return objSet{ptr: true}, nil
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.NEQ, token.EQL:
+			var operand ast.Expr
+			switch {
+			case isNilIdent(w.pkg.Info, e.Y):
+				operand = e.X
+			case isNilIdent(w.pkg.Info, e.X):
+				operand = e.Y
+			default:
+				return nil, nil
+			}
+			if obj := w.pass.guardedPointerObj(w.pkg.Info, operand); obj != nil {
+				if e.Op == token.NEQ {
+					return objSet{obj: true}, nil
+				}
+				return nil, objSet{obj: true}
+			}
+		case token.LAND:
+			t1, _ := w.cond(e.X)
+			t2, _ := w.cond(e.Y)
+			return objSet{}.union(t1).union(t2), nil
+		case token.LOR:
+			_, f1 := w.cond(e.X)
+			_, f2 := w.cond(e.Y)
+			return nil, objSet{}.union(f1).union(f2)
+		}
+	}
+	return nil, nil
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// walkStmts processes a statement list, narrowing g in place after
+// early-return guards.
+func (w *statsWalker) walkStmts(stmts []ast.Stmt, g objSet) {
+	for _, s := range stmts {
+		w.walkStmt(s, g)
+	}
+}
+
+func (w *statsWalker) walkStmt(s ast.Stmt, g objSet) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, g.clone())
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, g)
+		}
+		w.checkExpr(s.Cond, g)
+		whenTrue, whenFalse := w.cond(s.Cond)
+		w.walkStmts(s.Body.List, g.clone().union(whenTrue))
+		if s.Else != nil {
+			w.walkStmt(s.Else, g.clone().union(whenFalse))
+		} else if terminates(s.Body) {
+			// if p == nil { return }: the rest of the block is guarded.
+			g.union(whenFalse)
+		}
+	case *ast.ForStmt:
+		inner := g.clone()
+		if s.Init != nil {
+			w.walkStmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, inner)
+		}
+		if s.Post != nil {
+			w.walkStmt(s.Post, inner)
+		}
+		w.walkStmts(s.Body.List, inner)
+	case *ast.RangeStmt:
+		w.checkExpr(s.X, g)
+		w.walkStmts(s.Body.List, g.clone())
+	case *ast.SwitchStmt:
+		inner := g.clone()
+		if s.Init != nil {
+			w.walkStmt(s.Init, inner)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, inner)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.checkExpr(e, inner)
+				}
+				w.walkStmts(cc.Body, inner.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		inner := g.clone()
+		if s.Init != nil {
+			w.walkStmt(s.Init, inner)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, inner.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := g.clone()
+				if cc.Comm != nil {
+					w.walkStmt(cc.Comm, inner)
+				}
+				w.walkStmts(cc.Body, inner)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, g)
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			w.checkWrite(lhs, g)
+		}
+		for _, rhs := range s.Rhs {
+			w.checkExpr(rhs, g)
+		}
+	case *ast.IncDecStmt:
+		w.checkWrite(s.X, g)
+	case *ast.DeferStmt:
+		w.checkExpr(s.Call, g)
+	case *ast.GoStmt:
+		w.checkExpr(s.Call, g)
+	case *ast.ExprStmt:
+		w.checkExpr(s.X, g)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.checkExpr(r, g)
+		}
+	case *ast.SendStmt:
+		w.checkExpr(s.Chan, g)
+		w.checkExpr(s.Value, g)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkExpr(v, g)
+					}
+				}
+			}
+		}
+	}
+}
+
+// terminates reports whether executing body always leaves the enclosing
+// statement list (return, panic, continue, break, goto).
+func terminates(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkWrite flags an assignment target that stores through an
+// unguarded guarded-type pointer or directly into a sync/atomic value.
+func (w *statsWalker) checkWrite(target ast.Expr, g objSet) {
+	target = unparen(target)
+	sel, ok := target.(*ast.SelectorExpr)
+	if !ok {
+		if star, ok := target.(*ast.StarExpr); ok {
+			// *st = X: storing through the pointer itself.
+			if obj := w.pass.guardedPointerObj(w.pkg.Info, star.X); obj != nil && !g[obj] {
+				w.report(target, "write through possibly-nil *%s; guard with a nil check", typeShort(obj.Type()))
+			}
+		}
+		return
+	}
+	if t := w.pkg.Info.TypeOf(sel); isAtomicType(t) {
+		w.report(target, "direct assignment to %s; use its atomic methods", typeShort(t))
+	}
+	base := sel.X
+	for {
+		if inner, ok := unparen(base).(*ast.SelectorExpr); ok {
+			base = inner.X
+			continue
+		}
+		break
+	}
+	if obj := w.pass.guardedPointerObj(w.pkg.Info, base); obj != nil && !g[obj] {
+		w.report(target, "write to %s.%s through possibly-nil *%s; guard with a nil check",
+			obj.Name(), sel.Sel.Name, typeShort(obj.Type()))
+	}
+}
+
+// checkExpr flags method calls through unguarded guarded-type pointers
+// and recurses into function literals with a fresh (empty) guard set —
+// a closure may run long after the guard that surrounded its creation.
+func (w *statsWalker) checkExpr(expr ast.Expr, g objSet) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.walkStmts(n.Body.List, objSet{})
+			return false
+		case *ast.CallExpr:
+			sel, ok := unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if s, ok := w.pkg.Info.Selections[sel]; !ok || s.Kind() != types.MethodVal {
+				return true
+			}
+			if obj := w.pass.guardedPointerObj(w.pkg.Info, sel.X); obj != nil && !g[obj] {
+				w.report(n, "call to %s.%s through possibly-nil *%s; guard with a nil check",
+					obj.Name(), sel.Sel.Name, typeShort(obj.Type()))
+			}
+		}
+		return true
+	})
+}
+
+// isAtomicType reports whether t is a named type from sync/atomic.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// typeShort renders a type for diagnostics without its package path.
+func typeShort(t types.Type) string {
+	s := t.String()
+	s = strings.TrimPrefix(s, "*")
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}

@@ -1,0 +1,16 @@
+// Package directives exercises the waiver syntax: a //cafe:allow with a
+// reason suppresses the finding on its line, one without a reason is
+// itself a finding, and un-waived violations still surface.
+package directives
+
+//cafe:hotpath
+func Waived(xs []int) []int {
+	xs = append(xs, 1) //cafe:allow amortised scratch, reset by the caller
+	xs = append(xs, 2)
+	return xs
+}
+
+func reasonless() {
+	//cafe:allow
+	_ = 0
+}

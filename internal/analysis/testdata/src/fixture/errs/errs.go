@@ -1,0 +1,41 @@
+// Package errs seeds discarded-error violations for the errcheck pass:
+// every way of dropping an error the pass knows about appears once with
+// a violation marker comment, and Good shows the accepted shapes.
+package errs
+
+import (
+	"errors"
+	"fmt"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func note() {}
+
+func Bad() {
+	mayFail()      //violation:errcheck
+	_ = mayFail()  //violation:errcheck
+	v, _ := pair() //violation:errcheck
+	_ = v
+	defer mayFail() //violation:errcheck
+	go mayFail()    //violation:errcheck
+	err := mayFail()
+	_ = err //violation:errcheck
+}
+
+func Good() error {
+	note()
+	if err := mayFail(); err != nil {
+		return err
+	}
+	v, err := pair()
+	if err != nil {
+		return fmt.Errorf("pair: %w", err)
+	}
+	if v > 0 {
+		return nil
+	}
+	return mayFail()
+}

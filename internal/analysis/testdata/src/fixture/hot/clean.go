@@ -1,0 +1,29 @@
+package hot
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Clean is annotated but allocation-free: loops, intrinsic builtins,
+// allowlisted math/bits calls, value composite literals, dynamic calls
+// through function parameters, calls to other annotated functions, and
+// panic messages (cold by definition) must all pass untouched.
+//
+//cafe:hotpath
+func Clean(xs []int, dst []int, pick func(int) int) int {
+	sum := 0
+	for i := 0; i < len(xs); i++ {
+		sum += pick(xs[i])
+	}
+	sum += bits.OnesCount64(uint64(sum))
+	n := copy(dst, xs)
+	sum += min(n, cap(dst))
+	p := point{x: sum}
+	var arr [4]int
+	arr[0] = p.x
+	if sum < 0 {
+		panic(fmt.Sprintf("negative checksum %d", sum))
+	}
+	return sum + arr[0] + helper(sum)
+}

@@ -1,0 +1,49 @@
+// Package hot seeds deliberate hot-path violations for the analysis
+// test suite. Every line expected to be flagged carries a trailing
+// violation marker comment; the tests cross-check the pass output
+// against exactly that set, so an unmarked finding or an unflagged
+// marker both fail.
+package hot
+
+import (
+	"fmt"
+	"strings"
+)
+
+type point struct{ x, y int }
+
+// Sink is an interface hot code must not call through dynamically.
+type Sink interface {
+	Put(v int)
+}
+
+func plain(x int) int { return x + 1 }
+
+//cafe:hotpath
+func helper(x int) int { return x * 2 }
+
+//cafe:hotpath
+func Violations(xs []int, s string, raw []byte, sink Sink) any {
+	m := map[int]bool{} //violation:hotpath
+	for _, x := range xs {
+		m[x] = true
+	}
+	lit := []int{1, 2, 3}        //violation:hotpath
+	pt := &point{x: 1}           //violation:hotpath
+	buf := make([]byte, 8)       //violation:hotpath
+	n := new(int)                //violation:hotpath
+	xs = append(xs, len(buf))    //violation:hotpath
+	str := string(raw)           //violation:hotpath
+	bs := []byte(s)              //violation:hotpath
+	f := func() int { return 1 } //violation:hotpath
+	fmt.Println(pt.x)            //violation:hotpath
+	_ = strings.ToUpper(str)     //violation:hotpath
+	println(*n)                  //violation:hotpath
+	_ = plain(f())               //violation:hotpath
+	sink.Put(len(bs))            //violation:hotpath
+	var box any
+	box = lit[0] //violation:hotpath
+	_ = box
+	_ = helper(xs[0])
+	return xs[0] //violation:hotpath
+}

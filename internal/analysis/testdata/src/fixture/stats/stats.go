@@ -1,0 +1,89 @@
+// Package stats seeds unguarded instrumentation writes for the stats
+// pass. Stats stands in for core.SearchStats: collected through a
+// possibly-nil pointer, so every access outside a nil guard is flagged,
+// while the guard shapes the real codebase uses must pass clean.
+package stats
+
+import "sync/atomic"
+
+// Stats mirrors core.SearchStats.
+type Stats struct {
+	Hits  int
+	Total int64
+}
+
+func (st *Stats) bump() { st.Hits++ }
+
+// Counter holds an atomic field that must only move through methods.
+type Counter struct {
+	n atomic.Int64
+}
+
+func Bad(st *Stats) {
+	st.Hits++     //violation:stats
+	st.Total += 2 //violation:stats
+	st.bump()     //violation:stats
+}
+
+func BadReset(st *Stats) {
+	*st = Stats{} //violation:stats
+}
+
+func BadClosure(st *Stats) func() {
+	if st != nil {
+		// The closure may run long after this guard: flagged.
+		return func() { st.Hits++ } //violation:stats
+	}
+	return nil
+}
+
+func BadAtomic(c *Counter) {
+	c.n = atomic.Int64{} //violation:stats
+}
+
+func GoodDirect(st *Stats) {
+	if st != nil {
+		st.Hits++
+		st.bump()
+	}
+}
+
+func GoodDerived(st *Stats) {
+	collect := st != nil
+	for i := 0; i < 3; i++ {
+		if collect {
+			st.Total++
+		}
+	}
+}
+
+func GoodEarly(st *Stats) {
+	if st == nil {
+		return
+	}
+	st.Hits++
+}
+
+func GoodCompound(st *Stats, deep bool) {
+	if st != nil && deep {
+		st.Total++
+	}
+	if st == nil || !deep {
+		return
+	}
+	st.Hits++
+}
+
+func GoodClosureGuard(st *Stats) func() {
+	collect := st != nil
+	return func() {
+		if collect {
+			st.Hits++
+		}
+	}
+}
+
+func GoodAtomic(c *Counter) int64 {
+	c.n.Add(1)
+	return c.n.Load()
+}

@@ -68,6 +68,7 @@ func (w *BitWriter) WriteBits(v uint64, n uint) {
 	}
 }
 
+//cafe:hotpath
 func mask(n uint) uint64 {
 	if n >= 64 {
 		return ^uint64(0)
@@ -150,10 +151,13 @@ func NewBitReader(buf []byte) *BitReader {
 }
 
 // Reset repositions the reader over a new buffer, reusing the struct.
+//
+//cafe:hotpath
 func (r *BitReader) Reset(buf []byte) {
 	r.buf, r.pos, r.cur, r.ncur = buf, 0, 0, 0
 }
 
+//cafe:hotpath
 func (r *BitReader) refill() {
 	for r.ncur <= 56 && r.pos < len(r.buf) {
 		r.cur |= uint64(r.buf[r.pos]) << (56 - r.ncur)
@@ -163,12 +167,16 @@ func (r *BitReader) refill() {
 }
 
 // ReadBit reads one bit.
+//
+//cafe:hotpath
 func (r *BitReader) ReadBit() (uint, error) {
 	v, err := r.ReadBits(1)
 	return uint(v), err
 }
 
 // ReadBits reads n bits (0 ≤ n ≤ 64), most significant first.
+//
+//cafe:hotpath
 func (r *BitReader) ReadBits(n uint) (uint64, error) {
 	if n == 0 {
 		return 0, nil
@@ -182,7 +190,7 @@ func (r *BitReader) ReadBits(n uint) (uint64, error) {
 		if r.ncur == 0 {
 			r.refill()
 			if r.ncur == 0 {
-				return 0, fmt.Errorf("%w: need %d more bits", ErrCorrupt, need)
+				return 0, fmt.Errorf("%w: need %d more bits", ErrCorrupt, need) //cafe:allow cold corruption path; the error message is the product
 			}
 		}
 		take := need
@@ -198,13 +206,15 @@ func (r *BitReader) ReadBits(n uint) (uint64, error) {
 }
 
 // ReadUnary reads a unary code and returns its value v ≥ 1.
+//
+//cafe:hotpath
 func (r *BitReader) ReadUnary() (uint64, error) {
 	v := uint64(1)
 	for {
 		if r.ncur == 0 {
 			r.refill()
 			if r.ncur == 0 {
-				return 0, fmt.Errorf("%w: unterminated unary code", ErrCorrupt)
+				return 0, fmt.Errorf("%w: unterminated unary code", ErrCorrupt) //cafe:allow cold corruption path; the error message is the product
 			}
 		}
 		// Count leading ones in the available window.
@@ -224,6 +234,8 @@ func (r *BitReader) ReadUnary() (uint64, error) {
 }
 
 // BitPos returns the number of bits consumed so far.
+//
+//cafe:hotpath
 func (r *BitReader) BitPos() int {
 	return r.pos*8 - int(r.ncur)
 }

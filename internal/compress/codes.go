@@ -18,13 +18,15 @@ func PutGamma(w *BitWriter, v uint64) {
 }
 
 // GetGamma reads an Elias gamma code.
+//
+//cafe:hotpath
 func GetGamma(r *BitReader) (uint64, error) {
 	n, err := r.ReadUnary()
 	if err != nil {
 		return 0, err
 	}
 	if n > 64 {
-		return 0, fmt.Errorf("%w: gamma length %d", ErrCorrupt, n)
+		return 0, fmt.Errorf("%w: gamma length %d", ErrCorrupt, n) //cafe:allow cold corruption path; the error message is the product
 	}
 	low, err := r.ReadBits(uint(n - 1))
 	if err != nil {
@@ -51,13 +53,15 @@ func PutDelta(w *BitWriter, v uint64) {
 }
 
 // GetDelta reads an Elias delta code.
+//
+//cafe:hotpath
 func GetDelta(r *BitReader) (uint64, error) {
 	n, err := GetGamma(r)
 	if err != nil {
 		return 0, err
 	}
 	if n == 0 || n > 64 {
-		return 0, fmt.Errorf("%w: delta length %d", ErrCorrupt, n)
+		return 0, fmt.Errorf("%w: delta length %d", ErrCorrupt, n) //cafe:allow cold corruption path; the error message is the product
 	}
 	low, err := r.ReadBits(uint(n - 1))
 	if err != nil {
@@ -76,6 +80,8 @@ func DeltaLen(v uint64) int {
 // Golomb-coding gaps whose mean is total/count: with n occurrences
 // spread over a universe of size u, b = ⌈0.69·u/n⌉. A parameter of at
 // least 1 is always returned.
+//
+//cafe:hotpath
 func GolombParameter(universe, occurrences uint64) uint64 {
 	if occurrences == 0 {
 		return 1
@@ -103,6 +109,8 @@ func PutGolomb(w *BitWriter, v, b uint64) {
 }
 
 // GetGolomb reads a Golomb code with parameter b.
+//
+//cafe:hotpath
 func GetGolomb(r *BitReader, b uint64) (uint64, error) {
 	if b == 0 {
 		panic("compress: golomb parameter 0")
@@ -142,6 +150,7 @@ func putTruncated(w *BitWriter, rem, b uint64) {
 	}
 }
 
+//cafe:hotpath
 func getTruncated(r *BitReader, b uint64) (uint64, error) {
 	if b == 1 {
 		return 0, nil
@@ -189,6 +198,8 @@ func PutRice(w *BitWriter, v uint64, k uint) {
 }
 
 // GetRice reads a Rice code with parameter k.
+//
+//cafe:hotpath
 func GetRice(r *BitReader, k uint) (uint64, error) {
 	q, err := r.ReadUnary()
 	if err != nil {
@@ -203,6 +214,8 @@ func GetRice(r *BitReader, k uint) (uint64, error) {
 
 // RiceParameter returns a Rice parameter approximating the Golomb
 // parameter for the given mean gap.
+//
+//cafe:hotpath
 func RiceParameter(universe, occurrences uint64) uint {
 	b := GolombParameter(universe, occurrences)
 	k := uint(bits.Len64(b))

@@ -1,0 +1,48 @@
+package compress
+
+import "testing"
+
+// FuzzVarint drives the variable-byte codec from both directions:
+// arbitrary bytes through GetVByte must decode or fail cleanly within
+// bounds (the encoding is not canonical — leading zero payload bytes
+// are legal — so decoded values need not re-encode to the same bytes),
+// while values harvested from the input must survive a Put/Get round
+// trip exactly.
+func FuzzVarint(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+	f.Add([]byte{0x00})
+	f.Add(PutVByte(nil, 0))
+	f.Add(PutVByte(nil, 1))
+	f.Add(PutVByte(nil, 127))
+	f.Add(PutVByte(nil, 128))
+	f.Add(PutVByte(nil, 1<<32))
+	f.Add(PutVByte(nil, ^uint64(0)))
+	f.Add([]byte{0x7F, 0x7F, 0x7F, 0x7F, 0x7F, 0x7F, 0x7F, 0x7F, 0x7F, 0x7F, 0x80})
+	f.Add([]byte{0x7F, 0x7F, 0x7F, 0x7F, 0x7F, 0x7F, 0x7F, 0x7F, 0x7F, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, n, err := GetVByte(data)
+		if err == nil {
+			if n <= 0 || n > len(data) || n > 10 {
+				t.Fatalf("decoded %d from %d bytes, consumed %d", v, len(data), n)
+			}
+			if VByteLen(v) > n {
+				t.Fatalf("value %d: minimal length %d but decode consumed only %d", v, VByteLen(v), n)
+			}
+		}
+		// Round-trip a value built from the raw input bytes.
+		var x uint64
+		for _, b := range data {
+			x = x<<8 | uint64(b)
+		}
+		enc := PutVByte(nil, x)
+		got, n2, err := GetVByte(enc)
+		if err != nil {
+			t.Fatalf("round trip %d: %v", x, err)
+		}
+		if got != x || n2 != len(enc) {
+			t.Fatalf("round trip %d: got %d, consumed %d of %d", x, got, n2, len(enc))
+		}
+	})
+}

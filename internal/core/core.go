@@ -650,14 +650,16 @@ func newAccumulators(n int) accumulators {
 	}
 }
 
+//cafe:hotpath
 func (a *accumulators) bump(id, distinct, total int) {
 	if a.distinct[id] == 0 && a.total[id] == 0 {
-		a.touched = append(a.touched, id)
+		a.touched = append(a.touched, id) //cafe:allow amortised scratch; stabilises at the high-water mark across queries
 	}
 	a.distinct[id] += int32(distinct)
 	a.total[id] += int32(total)
 }
 
+//cafe:hotpath
 func (a *accumulators) reset() {
 	for _, id := range a.touched {
 		a.distinct[id] = 0

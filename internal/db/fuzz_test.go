@@ -31,22 +31,21 @@ func FuzzLoad(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// Reading an accepted store must not panic even if the blob
-		// decodes to errors; Sequence panics only on internal
-		// corruption, so probe via recover and require that any panic
-		// is the documented corrupt-record one.
+		// Load validates every record against the blob, so reading an
+		// accepted store must never panic: Sequence's corrupt-record
+		// panic is reserved for in-memory corruption, which a freshly
+		// loaded store cannot have.
 		for id := 0; id < got.Len(); id++ {
-			func() {
-				defer func() { _ = recover() }()
-				seq := got.Sequence(id)
-				for _, c := range seq {
-					if !dna.ValidCode(c) {
-						t.Fatalf("record %d has invalid code %d", id, c)
-					}
+			seq := got.Sequence(id)
+			if len(seq) != got.SeqLen(id) {
+				t.Fatalf("record %d: Sequence len %d, SeqLen %d", id, len(seq), got.SeqLen(id))
+			}
+			for _, c := range seq {
+				if !dna.ValidCode(c) {
+					t.Fatalf("record %d has invalid code %d", id, c)
 				}
-			}()
+			}
 			_ = got.Desc(id)
-			_ = got.SeqLen(id)
 		}
 	})
 }

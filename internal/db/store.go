@@ -136,15 +136,22 @@ func Load(r io.Reader) (*Store, error) {
 	if n > maxRecords {
 		return nil, fmt.Errorf("db: load: implausible record count %d", n)
 	}
+	// Counts from the header size allocations, so capacity hints are
+	// capped and growth is incremental: a lying count fails with a read
+	// error after a bounded allocation, never an OOM.
+	const capHint = 1 << 20
 	s := &Store{
-		descs:   make([]string, 0, n),
-		offsets: make([]int, 0, n),
-		lengths: make([]int, 0, n),
+		descs:   make([]string, 0, min(n, capHint)),
+		offsets: make([]int, 0, min(n, capHint)),
+		lengths: make([]int, 0, min(n, capHint)),
 	}
 	for i := uint64(0); i < n; i++ {
 		dl, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("db: load: record %d desc length: %w", i, err)
+		}
+		if dl > 1<<20 {
+			return nil, fmt.Errorf("db: load: record %d implausible desc length %d", i, dl)
 		}
 		desc := make([]byte, dl)
 		if _, err := io.ReadFull(br, desc); err != nil {
@@ -158,6 +165,9 @@ func Load(r io.Reader) (*Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("db: load: record %d length: %w", i, err)
 		}
+		if off > 1<<62 || length > 1<<31-1 {
+			return nil, fmt.Errorf("db: load: record %d implausible offset %d or length %d", i, off, length)
+		}
 		s.descs = append(s.descs, string(desc))
 		s.offsets = append(s.offsets, int(off))
 		s.lengths = append(s.lengths, int(length))
@@ -167,20 +177,62 @@ func Load(r io.Reader) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("db: load: blob length: %w", err)
 	}
-	s.blob = make([]byte, bl)
-	if _, err := io.ReadFull(br, s.blob); err != nil {
+	s.blob, err = readCapped(br, bl)
+	if err != nil {
 		return nil, fmt.Errorf("db: load: blob: %w", err)
 	}
-	// Validate the record table against the blob before trusting it.
+	// Validate the record table against the blob before trusting it:
+	// every record must decode, cover exactly its recorded length, and
+	// the records must tile the blob contiguously. Sequence relies on
+	// this — it treats a decode failure after Load as memory corruption
+	// and panics, so nothing a corrupt file can produce may reach it.
 	for i := range s.offsets {
-		if s.offsets[i] > len(s.blob) {
-			return nil, fmt.Errorf("db: load: record %d offset %d beyond blob size %d", i, s.offsets[i], len(s.blob))
-		}
 		if i > 0 && s.offsets[i] < s.offsets[i-1] {
 			return nil, fmt.Errorf("db: load: record offsets not monotonic at %d", i)
 		}
+		if i == 0 && s.offsets[i] != 0 {
+			return nil, fmt.Errorf("db: load: first record at offset %d, want 0", s.offsets[i])
+		}
+		if s.offsets[i] > len(s.blob) {
+			return nil, fmt.Errorf("db: load: record %d offset %d beyond blob size %d", i, s.offsets[i], len(s.blob))
+		}
+		codes, consumed, err := s.coder.Decode(s.blob[s.offsets[i]:])
+		if err != nil {
+			return nil, fmt.Errorf("db: load: record %d: %w", i, err)
+		}
+		if len(codes) != s.lengths[i] {
+			return nil, fmt.Errorf("db: load: record %d decodes to %d bases, table says %d", i, len(codes), s.lengths[i])
+		}
+		end := s.offsets[i] + consumed
+		if next := len(s.blob); i+1 < len(s.offsets) {
+			next = s.offsets[i+1]
+			if end != next {
+				return nil, fmt.Errorf("db: load: record %d ends at %d, next starts at %d", i, end, next)
+			}
+		} else if end != next {
+			return nil, fmt.Errorf("db: load: last record ends at %d, blob is %d bytes", end, next)
+		}
+	}
+	if len(s.offsets) == 0 && len(s.blob) != 0 {
+		return nil, fmt.Errorf("db: load: %d blob bytes with no records", len(s.blob))
 	}
 	return s, nil
+}
+
+// readCapped reads exactly n bytes from r with incremental growth, so a
+// corrupt length claim cannot force a giant up-front allocation.
+func readCapped(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	buf := make([]byte, 0, min(n, chunk))
+	for uint64(len(buf)) < n {
+		take := min(n-uint64(len(buf)), chunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, take)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // FromRecords builds a store from FASTA records.

@@ -96,6 +96,12 @@ func (dc *DirectCoder) Decode(buf []byte) (codes []byte, n int, err error) {
 	exc := buf[pos : pos+int(excLen)]
 	pos += int(excLen)
 
+	// Bound the decoded length by the bytes actually present before
+	// allocating: a corrupt header must not turn ten input bytes into a
+	// multi-gigabyte make.
+	if seqLen > uint64(len(buf)-pos)*4 {
+		return nil, 0, fmt.Errorf("dna: direct coding: sequence length %d exceeds remaining data", seqLen)
+	}
 	packedLen := PackedLen(int(seqLen))
 	if len(buf)-pos < packedLen {
 		return nil, 0, fmt.Errorf("dna: direct coding: truncated base data: need %d bytes, have %d", packedLen, len(buf)-pos)
@@ -119,6 +125,9 @@ func (dc *DirectCoder) Decode(buf []byte) (codes []byte, n int, err error) {
 			code, err := r.ReadBits(4)
 			if err != nil {
 				return nil, 0, fmt.Errorf("dna: direct coding: %w", err)
+			}
+			if gap > seqLen {
+				return nil, 0, fmt.Errorf("dna: direct coding: wildcard gap %d beyond sequence length %d", gap, seqLen)
 			}
 			at += int(gap)
 			if at >= int(seqLen) {

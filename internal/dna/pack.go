@@ -50,6 +50,8 @@ func Unpack2(packed []byte, n int) []byte {
 
 // Unpack2Into decodes len(dst) bases from packed into dst, avoiding an
 // allocation. It is the hot path for retrieving stored sequences.
+//
+//cafe:hotpath
 func Unpack2Into(packed []byte, dst []byte) {
 	n := len(dst)
 	// Decode four bases per input byte for the bulk of the buffer.
@@ -68,6 +70,8 @@ func Unpack2Into(packed []byte, dst []byte) {
 
 // Base2 reads the base at position i of a 2-bit packed buffer without
 // unpacking the rest.
+//
+//cafe:hotpath
 func Base2(packed []byte, i int) byte {
 	return (packed[i>>2] >> uint((i&3)*2)) & 3
 }

@@ -1,0 +1,169 @@
+package index
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nucleodb/internal/kmer"
+	"nucleodb/internal/postings"
+)
+
+// saveImage builds a real index over a deterministic store and returns
+// its serialized bytes.
+func saveImage(t *testing.T, opts Options) []byte {
+	t.Helper()
+	s := randomStore(417, 12, 250)
+	idx, err := Build(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// walkIndex reads every posting list of an index to the end, returning
+// the first decode error, so corruption that slips past the loader is
+// still surfaced as an error rather than a panic.
+func walkIndex(x *Index) error {
+	var it postings.Iterator
+	var firstErr error
+	x.Terms(func(term kmer.Term, df int) {
+		x.Reader(term, &it)
+		for it.Next() {
+		}
+		if err := it.Err(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	})
+	return firstErr
+}
+
+// TestLoadCorruptImages flips bits and truncates a real serialized
+// index at every position and requires the loader (and a full postings
+// walk of anything it accepts) to fail with an error, never a panic.
+// Payload corruption that no validation can distinguish from a valid
+// image (a bit flip inside a posting list can decode to a different,
+// equally plausible list) is allowed to pass silently; what is not
+// allowed is a crash.
+func TestLoadCorruptImages(t *testing.T) {
+	for name, opts := range map[string]Options{
+		"plain":   {K: 4},
+		"offsets": {K: 5, StoreOffsets: true, SkipInterval: 4},
+	} {
+		t.Run(name, func(t *testing.T) {
+			img := saveImage(t, opts)
+
+			t.Run("truncate", func(t *testing.T) {
+				for cut := 0; cut < len(img); cut++ {
+					_, err := Load(bytes.NewReader(img[:cut]))
+					if err == nil {
+						t.Fatalf("truncation to %d of %d bytes loaded cleanly", cut, len(img))
+					}
+				}
+			})
+
+			t.Run("bitflip", func(t *testing.T) {
+				step := 1
+				if testing.Short() {
+					// Exhaustive position coverage costs ~20s; a prime
+					// stride still crosses every header section.
+					step = 13
+				}
+				mut := make([]byte, len(img))
+				for pos := 0; pos < len(img); pos += step {
+					for bit := uint(0); bit < 8; bit++ {
+						copy(mut, img)
+						mut[pos] ^= 1 << bit
+						x, err := Load(bytes.NewReader(mut))
+						if err != nil {
+							continue
+						}
+						// Accepted: every list must still be walkable;
+						// decode errors are fine, panics are not.
+						_ = walkIndex(x)
+					}
+				}
+			})
+
+			t.Run("double-length", func(t *testing.T) {
+				// Appending garbage after a valid image must not disturb
+				// the loaded index.
+				grown := append(append([]byte{}, img...), bytes.Repeat([]byte{0xAB}, 64)...)
+				x, err := Load(bytes.NewReader(grown))
+				if err != nil {
+					t.Fatalf("trailing garbage broke the load: %v", err)
+				}
+				if err := walkIndex(x); err != nil {
+					t.Fatalf("walk after trailing garbage: %v", err)
+				}
+			})
+		})
+	}
+}
+
+// TestOpenDiskCorruptFiles runs the same discipline through the paged
+// reader: a corrupt file on disk must produce errors, not panics, both
+// at open time and when posting lists are fetched on demand.
+func TestOpenDiskCorruptFiles(t *testing.T) {
+	img := saveImage(t, Options{K: 5, StoreOffsets: true, SkipInterval: 4})
+	dir := t.TempDir()
+	write := func(name string, data []byte) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	t.Run("valid", func(t *testing.T) {
+		x, err := OpenDisk(write("valid.idx", img))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer x.Close()
+		if err := walkIndex(x); err != nil {
+			t.Fatalf("walk of a valid disk index: %v", err)
+		}
+	})
+
+	t.Run("truncate", func(t *testing.T) {
+		// Step 7 keeps the test fast while still crossing every header
+		// section boundary.
+		for cut := 0; cut < len(img); cut += 7 {
+			x, err := OpenDisk(write("trunc.idx", img[:cut]))
+			if err == nil {
+				_ = walkIndex(x)
+				if err := x.Close(); err != nil {
+					t.Fatalf("close after truncated open: %v", err)
+				}
+				t.Fatalf("truncation to %d of %d bytes opened cleanly", cut, len(img))
+			}
+		}
+	})
+
+	t.Run("bitflip", func(t *testing.T) {
+		step := 1
+		if testing.Short() {
+			step = 13
+		}
+		mut := make([]byte, len(img))
+		for pos := 0; pos < len(img); pos += step {
+			copy(mut, img)
+			mut[pos] ^= 0x10
+			x, err := OpenDisk(write("flip.idx", mut))
+			if err != nil {
+				continue
+			}
+			_ = walkIndex(x)
+			if err := x.Close(); err != nil {
+				t.Fatalf("close after bit flip at %d: %v", pos, err)
+			}
+		}
+	})
+}

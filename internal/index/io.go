@@ -113,11 +113,29 @@ func Load(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	x.blob = make([]byte, blobLen)
-	if _, err := io.ReadFull(br, x.blob); err != nil {
+	x.blob, err = readCapped(br, blobLen)
+	if err != nil {
 		return nil, fmt.Errorf("index: load blob: %w", err)
 	}
 	return x, nil
+}
+
+// readCapped reads exactly n bytes from r, growing the buffer
+// incrementally so that a corrupt length claim fails with a read error
+// after a bounded allocation instead of a single n-byte make — header
+// fields must never size allocations the data cannot back.
+func readCapped(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	buf := make([]byte, 0, min(n, chunk))
+	for uint64(len(buf)) < n {
+		take := min(n-uint64(len(buf)), chunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, take)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // countingReader tracks how many bytes have been consumed from the
@@ -208,14 +226,22 @@ func loadHeader(r io.Reader) (*Index, uint64, *bufio.Reader, int64, error) {
 	if numSeqs > 1<<40 {
 		return fail(fmt.Errorf("index: load: implausible sequence count %d", numSeqs))
 	}
+	// Counts below size allocations from untrusted input, so every slice
+	// grows incrementally with a capped initial capacity: each element
+	// consumes at least one byte from the reader, so a lying count fails
+	// with a read error after a bounded allocation rather than an OOM.
+	const capHint = 1 << 20
 	x := &Index{opts: opts, coder: coder, numSeqs: int(numSeqs)}
-	x.seqLens = make([]int32, numSeqs)
-	for i := range x.seqLens {
+	x.seqLens = make([]int32, 0, min(numSeqs, capHint))
+	for i := uint64(0); i < numSeqs; i++ {
 		l, err := get("sequence length")
 		if err != nil {
 			return fail(err)
 		}
-		x.seqLens[i] = int32(l)
+		if l > 1<<31-1 {
+			return fail(fmt.Errorf("index: load: sequence %d length %d overflows", i, l))
+		}
+		x.seqLens = append(x.seqLens, int32(l))
 	}
 	numStopped, err := get("stop count")
 	if err != nil {
@@ -224,15 +250,18 @@ func loadHeader(r io.Reader) (*Index, uint64, *bufio.Reader, int64, error) {
 	if numStopped > coder.NumTerms() {
 		return fail(fmt.Errorf("index: load: %d stopped terms exceeds vocabulary", numStopped))
 	}
-	x.stopped = make([]uint64, numStopped)
+	x.stopped = make([]uint64, 0, min(numStopped, capHint))
 	prev := uint64(0)
-	for i := range x.stopped {
+	for i := uint64(0); i < numStopped; i++ {
 		d, err := get("stopped term")
 		if err != nil {
 			return fail(err)
 		}
+		if d > coder.NumTerms() || prev+d >= coder.NumTerms() {
+			return fail(fmt.Errorf("index: load: stopped term %d outside vocabulary", i))
+		}
 		prev += d
-		x.stopped[i] = prev
+		x.stopped = append(x.stopped, prev)
 	}
 	numTerms, err := get("term count")
 	if err != nil {
@@ -241,19 +270,27 @@ func loadHeader(r io.Reader) (*Index, uint64, *bufio.Reader, int64, error) {
 	if numTerms > coder.NumTerms() {
 		return fail(fmt.Errorf("index: load: %d terms exceeds vocabulary", numTerms))
 	}
-	x.terms = make([]uint64, numTerms)
-	x.dfs = make([]uint32, numTerms)
-	x.offs = make([]uint64, numTerms)
-	x.lens = make([]uint32, numTerms)
+	x.terms = make([]uint64, 0, min(numTerms, capHint))
+	x.dfs = make([]uint32, 0, min(numTerms, capHint))
+	x.offs = make([]uint64, 0, min(numTerms, capHint))
+	x.lens = make([]uint32, 0, min(numTerms, capHint))
 	prev = 0
 	var off uint64
-	for i := range x.terms {
+	for i := uint64(0); i < numTerms; i++ {
 		d, err := get("term")
 		if err != nil {
 			return fail(err)
 		}
+		if i == 0 {
+			// The first delta is the term itself; later deltas are ≥ 1.
+			if d >= coder.NumTerms() {
+				return fail(fmt.Errorf("index: load: term %d outside vocabulary", i))
+			}
+		} else if d == 0 || d >= coder.NumTerms() || prev+d >= coder.NumTerms() {
+			return fail(fmt.Errorf("index: load: term %d outside vocabulary", i))
+		}
 		prev += d
-		x.terms[i] = prev
+		x.terms = append(x.terms, prev)
 		df, err := get("df")
 		if err != nil {
 			return fail(err)
@@ -261,13 +298,16 @@ func loadHeader(r io.Reader) (*Index, uint64, *bufio.Reader, int64, error) {
 		if df == 0 || df > numSeqs {
 			return fail(fmt.Errorf("index: load: term %d df %d outside (0,%d]", i, df, numSeqs))
 		}
-		x.dfs[i] = uint32(df)
+		x.dfs = append(x.dfs, uint32(df))
 		l, err := get("list length")
 		if err != nil {
 			return fail(err)
 		}
-		x.offs[i] = off
-		x.lens[i] = uint32(l)
+		if l > 1<<31-1 {
+			return fail(fmt.Errorf("index: load: term %d list length %d overflows", i, l))
+		}
+		x.offs = append(x.offs, off)
+		x.lens = append(x.lens, uint32(l))
 		off += l
 	}
 	blobLen, err := get("blob length")

@@ -1,0 +1,88 @@
+package kmer
+
+import (
+	"testing"
+
+	"nucleodb/internal/dna"
+)
+
+// FuzzKmerRoundtrip checks the rolling extractor against the direct
+// per-window encoder on arbitrary sequences: every interval term the
+// rolling hash produces must equal Encode of the window it claims to
+// cover, terms must decode back to the canonicalised window, and the
+// spaced coder must agree with a naive reimplementation of its mask.
+func FuzzKmerRoundtrip(f *testing.F) {
+	f.Add([]byte{}, uint8(4))
+	f.Add([]byte{0, 1, 2, 3}, uint8(4))
+	f.Add([]byte{0, 1, 2, 3, 0, 1, 2, 3, 3, 2, 1, 0}, uint8(3))
+	f.Add([]byte{3, 3, 3, 3, 3, 3, 3, 3}, uint8(8))
+	f.Add([]byte{0, 14, 1, 7, 2, 9, 3}, uint8(2)) // wildcards interleaved
+	f.Add([]byte{200, 0, 1}, uint8(2))            // invalid codes get clamped below
+
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw uint8) {
+		k := int(kRaw)%MaxK + 1
+		// Clamp raw bytes into valid code space: extraction is defined
+		// over code-form sequences only.
+		codes := make([]byte, len(raw))
+		for i, b := range raw {
+			codes[i] = b % dna.NumCodes
+		}
+		c, err := NewCoder(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		want := c.NumIntervals(len(codes))
+		seen := 0
+		c.ExtractFunc(codes, func(pos int, term Term) {
+			if pos != seen {
+				t.Fatalf("interval %d reported at position %d", seen, pos)
+			}
+			if direct := c.Encode(codes[pos:]); direct != term {
+				t.Fatalf("position %d: rolling term %d, direct encode %d", pos, term, direct)
+			}
+			decoded := c.Decode(term)
+			for j, d := range decoded {
+				wantCode := dna.CanonicalBase(codes[pos+j])
+				if d != wantCode {
+					t.Fatalf("position %d base %d: decoded %d, canonical %d", pos, j, d, wantCode)
+				}
+			}
+			seen++
+		})
+		if seen != want {
+			t.Fatalf("extracted %d intervals, NumIntervals says %d", seen, want)
+		}
+
+		// Spaced coder vs a naive reimplementation, reusing the fuzzed
+		// weight as every-other-position mask of weight k.
+		mask := make([]byte, 0, 2*k-1)
+		for i := 0; i < k; i++ {
+			if i > 0 {
+				mask = append(mask, '0')
+			}
+			mask = append(mask, '1')
+		}
+		sc, err := NewSpacedCoder(string(mask))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen = 0
+		sc.ExtractFunc(codes, func(pos int, term Term) {
+			var naive uint64
+			for p := 0; p < len(mask); p++ {
+				if mask[p] != '1' {
+					continue
+				}
+				naive = naive<<2 | uint64(dna.CanonicalBase(codes[pos+p]))
+			}
+			if Term(naive) != term {
+				t.Fatalf("spaced position %d: coder %d, naive %d", pos, term, naive)
+			}
+			seen++
+		})
+		if want := sc.NumIntervals(len(codes)); seen != want {
+			t.Fatalf("spaced extracted %d intervals, NumIntervals says %d", seen, want)
+		}
+	})
+}

@@ -121,6 +121,7 @@ type Iterator struct {
 	b           uint64 // golomb parameter
 	df          int
 	read        int
+	numSeqs     int64 // identifier universe; decoded ids must stay below it
 	withOffsets bool
 	prev        int64 // last absolute id decoded, -1 before the first
 	cur         Entry
@@ -130,10 +131,13 @@ type Iterator struct {
 
 // Reset prepares the iterator over a compressed list with the given
 // document frequency and universe.
+//
+//cafe:hotpath
 func (it *Iterator) Reset(buf []byte, df, numSeqs int, withOffsets bool) {
 	it.r.Reset(buf)
 	it.df = df
 	it.read = 0
+	it.numSeqs = int64(numSeqs)
 	it.withOffsets = withOffsets
 	it.cur = Entry{}
 	it.err = nil
@@ -145,24 +149,33 @@ func (it *Iterator) Reset(buf []byte, df, numSeqs int, withOffsets bool) {
 
 // Next advances to the next entry, returning false at the end of the
 // list or on error; check Err afterwards.
+//
+//cafe:hotpath
 func (it *Iterator) Next() bool {
 	if it.err != nil || it.read >= it.df {
 		return false
 	}
 	gap, err := compress.GetGolomb(&it.r, it.b)
 	if err != nil {
-		it.err = fmt.Errorf("postings: entry %d id: %w", it.read, err)
+		it.err = fmt.Errorf("postings: entry %d id: %w", it.read, err) //cafe:allow cold corruption path
+		return false
+	}
+	// Guard before widening to uint32: a corrupt gap run must surface as
+	// an error here, not as an out-of-range id that indexes the coarse
+	// accumulator's per-sequence arrays.
+	if gap > uint64(it.numSeqs) || it.prev+int64(gap) >= it.numSeqs {
+		it.err = fmt.Errorf("postings: entry %d id gap %d runs outside universe %d", it.read, gap, it.numSeqs) //cafe:allow cold corruption path
 		return false
 	}
 	id := it.prev + int64(gap)
 	it.prev = id
 	count, err := compress.GetGamma(&it.r)
 	if err != nil {
-		it.err = fmt.Errorf("postings: entry %d count: %w", it.read, err)
+		it.err = fmt.Errorf("postings: entry %d count: %w", it.read, err) //cafe:allow cold corruption path
 		return false
 	}
 	if count == 0 || count > 1<<31 {
-		it.err = fmt.Errorf("postings: entry %d implausible count %d", it.read, count)
+		it.err = fmt.Errorf("postings: entry %d implausible count %d", it.read, count) //cafe:allow cold corruption path
 		return false
 	}
 	it.cur = Entry{ID: uint32(id), Count: uint32(count)}
@@ -172,11 +185,15 @@ func (it *Iterator) Next() bool {
 		for j := uint64(0); j < count; j++ {
 			og, err := compress.GetGamma(&it.r)
 			if err != nil {
-				it.err = fmt.Errorf("postings: entry %d offset %d: %w", it.read, j, err)
+				it.err = fmt.Errorf("postings: entry %d offset %d: %w", it.read, j, err) //cafe:allow cold corruption path
+				return false
+			}
+			if og > 1<<32 || prevOff+int64(og) > 1<<32-1 {
+				it.err = fmt.Errorf("postings: entry %d offset %d overflows uint32", it.read, j) //cafe:allow cold corruption path
 				return false
 			}
 			prevOff += int64(og)
-			it.offsets = append(it.offsets, uint32(prevOff))
+			it.offsets = append(it.offsets, uint32(prevOff)) //cafe:allow amortised scratch, reused across entries and reset by Reset
 		}
 		it.cur.Offsets = it.offsets
 	}
@@ -186,23 +203,31 @@ func (it *Iterator) Next() bool {
 
 // Entry returns the current entry. Valid after Next returns true; the
 // Offsets slice is reused by subsequent Next calls.
+//
+//cafe:hotpath
 func (it *Iterator) Entry() Entry { return it.cur }
 
 // Decoded returns the number of entries decoded since Reset — the
 // work-accounting hook the search pipeline's stats use. It equals the
 // document frequency once the list is exhausted.
+//
+//cafe:hotpath
 func (it *Iterator) Decoded() int { return it.read }
 
 // skipBits discards n leading bits; the skip machinery uses it to
 // resynchronise an iterator at a mid-byte synchronisation point.
+//
+//cafe:hotpath
 func (it *Iterator) skipBits(n uint) {
 	if n == 0 || it.err != nil {
 		return
 	}
 	if _, err := it.r.ReadBits(n); err != nil {
-		it.err = fmt.Errorf("postings: skip alignment: %w", err)
+		it.err = fmt.Errorf("postings: skip alignment: %w", err) //cafe:allow cold corruption path
 	}
 }
 
 // Err returns the first decoding error encountered, if any.
+//
+//cafe:hotpath
 func (it *Iterator) Err() error { return it.err }

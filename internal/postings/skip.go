@@ -120,6 +120,7 @@ func OpenSkipped(buf []byte, df, numSeqs int, withOffsets bool) (*SkippedList, e
 		numSeqs:     numSeqs,
 		withOffsets: withOffsets,
 	}
+	dataBits := len(data) * 8
 	prevEntry, prevID, prevBit := 0, int64(-1), 0
 	for i := uint64(0); i < count; i++ {
 		de, err := compress.GetGamma(r)
@@ -134,10 +135,16 @@ func OpenSkipped(buf []byte, df, numSeqs int, withOffsets bool) (*SkippedList, e
 		if err != nil {
 			return nil, fmt.Errorf("postings: skip bit: %w", err)
 		}
+		// Bound each gamma delta before the int conversions: a corrupt
+		// header must not overflow the accumulators or place a sync point
+		// outside the data section, where SeekGE would slice past the end.
+		if de > uint64(df) || di > uint64(numSeqs) || db > uint64(dataBits)+1 {
+			return nil, fmt.Errorf("%w: skip delta out of range", compress.ErrCorrupt)
+		}
 		prevEntry += int(de)
 		prevID += int64(di)
 		prevBit += int(db) - 1
-		if prevEntry >= df || prevID >= int64(numSeqs) {
+		if prevEntry >= df || prevID >= int64(numSeqs) || prevBit < 0 || prevBit >= dataBits {
 			return nil, fmt.Errorf("%w: skip point beyond list", compress.ErrCorrupt)
 		}
 		sl.skipEntries = append(sl.skipEntries, prevEntry)
