@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench check lint fuzz-smoke examples experiments fmt vet clean
+.PHONY: all build test test-race cover bench check lint fuzz-smoke serve-smoke examples experiments fmt vet clean
 
 all: build test
 
@@ -33,6 +33,7 @@ check: lint
 	$(GO) test -race -short ./...
 	$(GO) build ./cmd/...
 	$(MAKE) fuzz-smoke
+	$(MAKE) serve-smoke
 
 # cafe-lint enforces the //cafe:hotpath allocation contract, checked
 # errors in the decode packages, and nil-guarded SearchStats writes.
@@ -46,6 +47,13 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzPostingsDecode$$' -fuzztime=2s ./internal/postings
 	$(GO) test -run='^$$' -fuzz='^FuzzKmerRoundtrip$$' -fuzztime=2s ./internal/kmer
 	$(GO) test -run='^$$' -fuzz='^FuzzSequenceDecode$$' -fuzztime=2s ./internal/db
+
+# End-to-end smoke over cafe-serve: build the binary, start it on a
+# random port, replay testdata/script.json, and diff every response
+# against the committed goldens (regenerate with -update after an
+# intentional wire-format change).
+serve-smoke:
+	$(GO) test -count=1 -run '^TestServeGolden$$' ./clitest/servertest
 
 examples:
 	$(GO) run ./examples/quickstart/

@@ -1,6 +1,7 @@
 package nucleodb
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,12 +12,20 @@ import (
 
 // SearchBatch evaluates many queries concurrently and returns the
 // per-query result lists in input order. Each worker owns its own
-// searcher state, so throughput scales with cores instead of
-// serialising on the Database's internal lock the way concurrent
-// Search calls do. workers ≤ 0 uses all CPUs. The first error aborts
-// the batch.
+// searcher state (borrowed from the Database's searcher pool), so
+// throughput scales with cores. workers ≤ 0 uses all CPUs. The first
+// error aborts the batch.
 func (d *Database) SearchBatch(queries []string, opts SearchOptions, workers int) ([][]Result, error) {
 	out, _, err := d.SearchBatchWithStats(queries, opts, workers)
+	return out, err
+}
+
+// SearchBatchContext is SearchBatch with cooperative cancellation:
+// when ctx ends, in-flight queries stop at their next posting-list or
+// candidate boundary, no further queries start, and the batch returns
+// an error wrapping ctx.Err().
+func (d *Database) SearchBatchContext(ctx context.Context, queries []string, opts SearchOptions, workers int) ([][]Result, error) {
+	out, _, err := d.SearchBatchWithStatsContext(ctx, queries, opts, workers)
 	return out, err
 }
 
@@ -25,6 +34,20 @@ func (d *Database) SearchBatch(queries []string, opts SearchOptions, workers int
 // field-wise (so TotalTime is accumulated search time across workers,
 // not the batch's wall time). Results are identical to SearchBatch's.
 func (d *Database) SearchBatchWithStats(queries []string, opts SearchOptions, workers int) ([][]Result, SearchStats, error) {
+	return d.SearchBatchWithStatsContext(context.Background(), queries, opts, workers)
+}
+
+// SearchBatchWithStatsContext is SearchBatchWithStats with cooperative
+// cancellation (see SearchBatchContext).
+//
+// Significance calibration follows the same contract as Search: when
+// d.Statistics() fails (the scoring scheme admits no local-alignment
+// statistics), the batch still runs and every Result reports Bits and
+// EValue as zero — calibration failure is a property of the scoring
+// scheme, not of any query, so it deliberately does not abort the
+// batch. Callers who need to distinguish "no significance available"
+// from "significance ≈ 0" should consult d.Statistics() directly.
+func (d *Database) SearchBatchWithStatsContext(ctx context.Context, queries []string, opts SearchOptions, workers int) ([][]Result, SearchStats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -58,27 +81,37 @@ func (d *Database) SearchBatchWithStats(queries []string, opts SearchOptions, wo
 	work := make(chan int)
 	results := make(chan result)
 	var wg sync.WaitGroup
+	searchers := make([]*core.Searcher, workers)
 	for w := 0; w < workers; w++ {
-		searcher, err := core.NewSearcher(d.idx, d.store, d.scoring)
+		searcher, err := d.getSearcher()
 		if err != nil {
 			return nil, agg, fmt.Errorf("nucleodb: %w", err)
 		}
+		searchers[w] = searcher
 		wg.Add(1)
 		go func(s *core.Searcher) {
 			defer wg.Done()
 			var cst core.SearchStats
 			for i := range work {
-				rs, err := s.SearchWithStats(encoded[i], opts.internal(), &cst)
+				rs, err := s.SearchWithStatsContext(ctx, encoded[i], opts.internal(), &cst)
 				results <- result{i, rs, searchStatsFrom(cst), err}
 			}
 		}(searcher)
 	}
 	go func() {
+		// Feeding stops as soon as ctx ends; the workers' own ctx
+		// checks cover queries already under evaluation.
 		for i := range queries {
+			if ctx.Err() != nil {
+				break
+			}
 			work <- i
 		}
 		close(work)
 		wg.Wait()
+		for _, s := range searchers {
+			d.putSearcher(s)
+		}
 		close(results)
 	}()
 
@@ -111,6 +144,12 @@ func (d *Database) SearchBatchWithStats(queries []string, opts SearchOptions, wo
 			}
 		}
 		out[r.i] = rs
+	}
+	if firstErr == nil && ctx.Err() != nil {
+		// The feeder stopped early on a cancelled context without any
+		// worker observing it (e.g. ctx ended before the first query
+		// was handed out).
+		firstErr = fmt.Errorf("nucleodb: %w", ctx.Err())
 	}
 	if firstErr != nil {
 		return nil, agg, firstErr

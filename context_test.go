@@ -1,0 +1,173 @@
+package nucleodb
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestSearchContextCancelledProperty: for random corpora and queries,
+// SearchContext with an already-cancelled context returns
+// context.Canceled and no results — regardless of options (strands,
+// prescreen, parallel fine phase, exact alignment).
+func TestSearchContextCancelledProperty(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for seed := int64(1); seed <= 5; seed++ {
+		recs, query, _ := testRecords(seed)
+		db, err := Build(recs, DefaultBuildConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for _, opts := range []SearchOptions{
+			DefaultSearchOptions(),
+			{Candidates: 50, MinCoarseHits: 1, Band: 16, Limit: 10, BothStrands: true, Prescreen: 20},
+			{Candidates: 100, MinCoarseHits: 2, Band: 24, FineWorkers: 4},
+			{Candidates: 30, MinCoarseHits: 1, Exact: true, Limit: 5},
+		} {
+			q := query
+			if rng.Intn(2) == 0 {
+				q = letters(rng, 120)
+			}
+			rs, err := db.SearchContext(ctx, q, opts)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("seed %d opts %+v: err = %v, want context.Canceled", seed, opts, err)
+			}
+			if rs != nil {
+				t.Fatalf("seed %d: cancelled search returned %d results", seed, len(rs))
+			}
+		}
+		if _, err := db.SearchBatchContext(ctx, []string{query, query[:100]}, DefaultSearchOptions(), 2); !errors.Is(err, context.Canceled) {
+			t.Fatalf("seed %d: batch err = %v, want context.Canceled", seed, err)
+		}
+	}
+}
+
+// TestSearchContextBackgroundEquivalence: SearchContext under
+// context.Background() is byte-identical to Search — the cancellation
+// checks only observe.
+func TestSearchContextBackgroundEquivalence(t *testing.T) {
+	for seed := int64(7); seed <= 9; seed++ {
+		recs, query, _ := testRecords(seed)
+		db, err := Build(recs, DefaultBuildConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opts := range []SearchOptions{
+			DefaultSearchOptions(),
+			{Candidates: 40, MinCoarseHits: 1, Band: 16, Limit: 10, BothStrands: true, Prescreen: 15, FineWorkers: 3},
+		} {
+			plain, err := db.Search(query, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctxed, err := db.SearchContext(context.Background(), query, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(plain, ctxed) {
+				t.Fatalf("seed %d opts %+v: SearchContext(Background) diverged from Search:\n%v\nvs\n%v",
+					seed, opts, plain, ctxed)
+			}
+		}
+	}
+}
+
+// TestSearchContextDeadline: an expired deadline surfaces as
+// context.DeadlineExceeded through the facade wrapping.
+func TestSearchContextDeadline(t *testing.T) {
+	recs, query, _ := testRecords(3)
+	db, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), -1)
+	defer cancel()
+	if _, err := db.SearchContext(ctx, query, DefaultSearchOptions()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestBatchStatsErrorLeavesSignificanceZero is the regression test for
+// SearchBatchWithStats's handling of a failed Karlin–Altschul
+// calibration: with a scoring scheme whose expected score is
+// non-negative (statistics undefined), the batch must still return
+// results, with Bits and EValue zero on every result — exactly the
+// behaviour of single-query Search. Before this was pinned down, the
+// statsErr from d.Statistics() was silently captured with no statement
+// of intent.
+func TestBatchStatsErrorLeavesSignificanceZero(t *testing.T) {
+	recs, query, _ := testRecords(21)
+	// Match with no mismatch or gap-open penalty: expected score is
+	// positive, so local-alignment statistics are undefined.
+	cfg := DefaultBuildConfig()
+	cfg.Scoring = Scoring{Match: 1, Mismatch: 0, GapOpen: 0, GapExtend: 1}
+	db, err := Build(recs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Statistics(); err == nil {
+		t.Fatal("Statistics() succeeded for a non-negative-expectation scoring; test premise broken")
+	}
+	queries := []string{query, query[:120]}
+	batch, _, err := db.SearchBatchWithStats(queries, DefaultSearchOptions(), 2)
+	if err != nil {
+		t.Fatalf("batch failed on statsErr: %v", err)
+	}
+	for i, rs := range batch {
+		if len(rs) == 0 {
+			t.Fatalf("query %d: no results", i)
+		}
+		single, err := db.Search(queries[i], DefaultSearchOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rs, single) {
+			t.Fatalf("query %d: batch diverged from single search under statsErr", i)
+		}
+		for _, r := range rs {
+			if r.Bits != 0 || r.EValue != 0 {
+				t.Fatalf("query %d: result has Bits %v EValue %v, want zero (no statistics)", i, r.Bits, r.EValue)
+			}
+		}
+	}
+}
+
+// TestConcurrentSearchesPooled: concurrent Search calls on one
+// Database produce the same answers as serial calls (the searcher pool
+// hands each goroutine private scratch).
+func TestConcurrentSearchesPooled(t *testing.T) {
+	recs, query, _ := testRecords(33)
+	db, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{query, query[:150], query[40:], query[20:200]}
+	want := make([][]Result, len(queries))
+	for i, q := range queries {
+		if want[i], err = db.Search(q, DefaultSearchOptions()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const rounds = 8
+	errc := make(chan error, rounds*len(queries))
+	for r := 0; r < rounds; r++ {
+		for i, q := range queries {
+			go func(i int, q string) {
+				rs, err := db.Search(q, DefaultSearchOptions())
+				if err == nil && !reflect.DeepEqual(rs, want[i]) {
+					err = errors.New("concurrent search diverged from serial")
+				}
+				errc <- err
+			}(i, q)
+		}
+	}
+	for i := 0; i < rounds*len(queries); i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

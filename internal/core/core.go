@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -239,7 +240,18 @@ type Candidate struct {
 // reverse complement of the query is evaluated too and each sequence
 // reports its best strand.
 func (s *Searcher) Search(query []byte, opts Options) ([]Result, error) {
-	return s.SearchWithStats(query, opts, nil)
+	return s.SearchWithStatsContext(context.Background(), query, opts, nil)
+}
+
+// SearchContext is Search with cooperative cancellation: the evaluation
+// checks ctx between posting lists in the coarse phase and between
+// candidates in the prescreen/fine/traceback phases — coarse enough
+// that the hot decode and DP loops stay allocation-free, fine enough
+// that even a long Smith–Waterman fine phase stops within one
+// candidate's alignment. On cancellation it returns ctx.Err() (so
+// errors.Is(err, context.Canceled) works) and no results.
+func (s *Searcher) SearchContext(ctx context.Context, query []byte, opts Options) ([]Result, error) {
+	return s.SearchWithStatsContext(ctx, query, opts, nil)
 }
 
 // SearchWithStats runs Search and, when st is non-nil, fills it with
@@ -248,7 +260,16 @@ func (s *Searcher) Search(query []byte, opts Options) ([]Result, error) {
 // results: the stats-enabled search returns exactly what Search
 // returns, a property the core tests lock in.
 func (s *Searcher) SearchWithStats(query []byte, opts Options, st *SearchStats) ([]Result, error) {
+	return s.SearchWithStatsContext(context.Background(), query, opts, st)
+}
+
+// SearchWithStatsContext is SearchContext with the stats collection of
+// SearchWithStats.
+func (s *Searcher) SearchWithStatsContext(ctx context.Context, query []byte, opts Options, st *SearchStats) ([]Result, error) {
 	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	var start time.Time
@@ -257,12 +278,15 @@ func (s *Searcher) SearchWithStats(query []byte, opts Options, st *SearchStats) 
 		st.Strands = 1
 		start = time.Now()
 	}
-	forward, err := s.searchStrand(query, opts, st)
+	forward, err := s.searchStrand(ctx, query, opts, st)
 	if err != nil {
 		return nil, err
 	}
 	if !opts.BothStrands {
-		out := s.finishTracebacks(query, nil, s.finish(forward, opts), opts, st)
+		out, err := s.finishTracebacks(ctx, query, nil, s.finish(forward, opts), opts, st)
+		if err != nil {
+			return nil, err
+		}
 		if st != nil {
 			st.Results = len(out)
 			st.TotalTime = time.Since(start)
@@ -270,7 +294,7 @@ func (s *Searcher) SearchWithStats(query []byte, opts Options, st *SearchStats) 
 		return out, nil
 	}
 	rc := dna.ReverseComplement(query)
-	reverse, err := s.searchStrand(rc, opts, st)
+	reverse, err := s.searchStrand(ctx, rc, opts, st)
 	if err != nil {
 		return nil, err
 	}
@@ -288,7 +312,10 @@ func (s *Searcher) SearchWithStats(query []byte, opts Options, st *SearchStats) 
 	for _, r := range best {
 		merged = append(merged, r)
 	}
-	out := s.finishTracebacks(query, rc, s.finish(merged, opts), opts, st)
+	out, err := s.finishTracebacks(ctx, query, rc, s.finish(merged, opts), opts, st)
+	if err != nil {
+		return nil, err
+	}
 	if st != nil {
 		st.Strands = 2
 		st.Results = len(out)
@@ -300,8 +327,9 @@ func (s *Searcher) SearchWithStats(query []byte, opts Options, st *SearchStats) 
 // finishTracebacks replaces the score-only banded results that made
 // the final list with full traceback alignments. Only the reported
 // results — at most Limit — pay for a direction matrix, so transcript
-// output costs nothing measurable per query.
-func (s *Searcher) finishTracebacks(query, rcQuery []byte, results []Result, opts Options, st *SearchStats) []Result {
+// output costs nothing measurable per query. Cancellation is checked
+// once per traceback.
+func (s *Searcher) finishTracebacks(ctx context.Context, query, rcQuery []byte, results []Result, opts Options, st *SearchStats) ([]Result, error) {
 	var t0 time.Time
 	if st != nil {
 		t0 = time.Now()
@@ -310,6 +338,12 @@ func (s *Searcher) finishTracebacks(query, rcQuery []byte, results []Result, opt
 		r := &results[i]
 		if !r.needsTraceback {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			if st != nil {
+				st.TracebackTime += time.Since(t0)
+			}
+			return nil, err
 		}
 		q := query
 		if r.Reverse {
@@ -329,7 +363,7 @@ func (s *Searcher) finishTracebacks(query, rcQuery []byte, results []Result, opt
 	if st != nil {
 		st.TracebackTime += time.Since(t0)
 	}
-	return results
+	return results, nil
 }
 
 // finish orders results best-first and applies the limit.
@@ -348,14 +382,15 @@ func (s *Searcher) finish(results []Result, opts Options) []Result {
 
 // searchStrand evaluates one orientation of the query. Results are
 // unordered; finish ranks them. When st is non-nil it accumulates the
-// strand's coarse and fine stage stats.
-func (s *Searcher) searchStrand(query []byte, opts Options, st *SearchStats) ([]Result, error) {
+// strand's coarse and fine stage stats. Cancellation is checked between
+// posting lists (coarse) and between candidates (fine).
+func (s *Searcher) searchStrand(ctx context.Context, query []byte, opts Options, st *SearchStats) ([]Result, error) {
 	collect := st != nil
 	var t0 time.Time
 	if collect {
 		t0 = time.Now()
 	}
-	cands, err := s.coarse(query, opts.CoarseMode, opts.MinCoarseHits, st)
+	cands, err := s.coarse(ctx, query, opts.CoarseMode, opts.MinCoarseHits, st)
 	if err != nil {
 		return nil, err
 	}
@@ -436,6 +471,12 @@ func (s *Searcher) searchStrand(query []byte, opts Options, st *SearchStats) ([]
 	results := make([]Result, 0, len(cands))
 	if opts.FineWorkers <= 1 || len(cands) < 2 {
 		for _, c := range cands {
+			if err := ctx.Err(); err != nil {
+				if collect {
+					st.FineTime += time.Since(t0)
+				}
+				return nil, err
+			}
 			r, ok, fw := fine(c)
 			if collect {
 				st.addFine(fw)
@@ -454,6 +495,8 @@ func (s *Searcher) searchStrand(query []byte, opts Options, st *SearchStats) ([]
 	// and collected in candidate order, so output is identical to the
 	// serial path. Per-candidate stats ride in the slots and fold in
 	// after the join, keeping the workers free of shared counters.
+	// Workers check ctx before claiming each candidate and stop early
+	// when it is done; the join then surfaces ctx.Err() once.
 	type slot struct {
 		r  Result
 		ok bool
@@ -470,7 +513,7 @@ func (s *Searcher) searchStrand(query []byte, opts Options, st *SearchStats) ([]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(cands) {
 					return
@@ -481,6 +524,12 @@ func (s *Searcher) searchStrand(query []byte, opts Options, st *SearchStats) ([]
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		if collect {
+			st.FineTime += time.Since(t0)
+		}
+		return nil, err
+	}
 	for _, sl := range slots {
 		if collect {
 			st.addFine(sl.fw)
@@ -504,13 +553,14 @@ const prescreenXDrop = 30
 // Exposed for the recall experiments, which sweep the candidate budget
 // over a single coarse ranking.
 func (s *Searcher) Coarse(query []byte, mode CoarseMode, minHits int) ([]Candidate, error) {
-	return s.coarse(query, mode, minHits, nil)
+	return s.coarse(context.Background(), query, mode, minHits, nil)
 }
 
 // coarse implements Coarse, accumulating work counters into st when
 // non-nil (stage timing is the caller's job — searchStrand wraps this
-// call in the coarse wall clock).
-func (s *Searcher) coarse(query []byte, mode CoarseMode, minHits int, st *SearchStats) ([]Candidate, error) {
+// call in the coarse wall clock). Cancellation is checked once per
+// posting list, so the per-entry accumulator loop stays hot.
+func (s *Searcher) coarse(ctx context.Context, query []byte, mode CoarseMode, minHits int, st *SearchStats) ([]Candidate, error) {
 	if minHits < 1 {
 		minHits = 1
 	}
@@ -534,6 +584,9 @@ func (s *Searcher) coarse(query []byte, mode CoarseMode, minHits int, st *Search
 	s.acc.reset()
 	diag := newDiagAcc(mode == CoarseDiagonal)
 	for t, qPositions := range s.termSet {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		df, listBytes := s.idx.ReaderStats(t, &s.it)
 		if df == 0 {
 			continue

@@ -1,0 +1,588 @@
+// Package server exposes a nucleodb database as an HTTP/JSON query
+// service: the shape the partitioned-search engine takes in
+// production, where one resident database serves many small concurrent
+// queries (the workload SEQR and COBS frame indexed sequence search
+// around). The server is deliberately boring operationally:
+//
+//   - GET/POST /search evaluates one query; POST /batch evaluates many;
+//   - a bounded worker pool caps concurrent searches, a bounded queue
+//     absorbs bursts, and requests beyond both are shed with 429;
+//   - every request runs under a context deadline (per-request
+//     ?timeout=, capped by the server maximum) and a timed-out search
+//     stops at the next posting-list or candidate boundary and returns
+//     504 — a worker is never wedged on an abandoned query;
+//   - an LRU cache keyed on (canonical query, options) serves repeated
+//     queries from memory, with hit/miss counters in /metrics;
+//   - /healthz answers liveness probes and /metrics and /debug/vars
+//     export the process-wide metrics registry.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"nucleodb"
+	"nucleodb/internal/dna"
+	"nucleodb/internal/metrics"
+)
+
+// Config controls service behaviour. The zero value is not valid; use
+// DefaultConfig and adjust.
+type Config struct {
+	// DefaultTimeout bounds a request that names no timeout; MaxTimeout
+	// caps whatever the client asks for. Zero DefaultTimeout means
+	// requests default to MaxTimeout.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Workers is the number of searches evaluated concurrently;
+	// QueueDepth is how many more may wait for a worker before new
+	// requests are shed with 429.
+	Workers    int
+	QueueDepth int
+	// CacheSize is the result cache capacity in entries; 0 disables
+	// caching.
+	CacheSize int
+	// MaxQueryBases rejects longer queries with 413; MaxBatchQueries
+	// bounds one /batch request.
+	MaxQueryBases   int
+	MaxBatchQueries int
+	// BatchWorkers bounds the per-batch search parallelism (a batch
+	// occupies one pool slot; this is its internal fan-out). 0 uses
+	// GOMAXPROCS.
+	BatchWorkers int
+	// Options is the search configuration requests start from; request
+	// parameters override individual fields.
+	Options nucleodb.SearchOptions
+}
+
+// DefaultConfig returns production-leaning defaults sized for one
+// resident database on one machine.
+func DefaultConfig() Config {
+	return Config{
+		DefaultTimeout:  2 * time.Second,
+		MaxTimeout:      30 * time.Second,
+		Workers:         runtime.GOMAXPROCS(0),
+		QueueDepth:      64,
+		CacheSize:       1024,
+		MaxQueryBases:   1 << 20,
+		MaxBatchQueries: 256,
+		Options:         nucleodb.DefaultSearchOptions(),
+	}
+}
+
+// Server serves search traffic for one Database. Create with New;
+// mount Handler on an http.Server. Graceful drain is the HTTP
+// server's: http.Server.Shutdown stops new connections and in-flight
+// handlers run to completion (each already bounded by its deadline).
+type Server struct {
+	db    *nucleodb.Database
+	cfg   Config
+	cache *resultCache
+	mux   *http.ServeMux
+
+	slots  chan struct{}
+	queued atomic.Int64
+
+	mRequests    *metrics.Counter
+	mShed        *metrics.Counter
+	mTimeouts    *metrics.Counter
+	mCacheHits   *metrics.Counter
+	mCacheMisses *metrics.Counter
+	hLatency     *metrics.Histogram
+}
+
+// New returns a Server over db. It registers its instruments in the
+// process-wide metrics registry and publishes the registry through
+// expvar, so /metrics and /debug/vars work out of the box.
+func New(db *nucleodb.Database, cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("server: Workers %d must be positive", cfg.Workers)
+	}
+	if cfg.QueueDepth < 0 || cfg.MaxQueryBases <= 0 || cfg.MaxBatchQueries <= 0 {
+		return nil, fmt.Errorf("server: invalid config %+v", cfg)
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = DefaultConfig().MaxTimeout
+	}
+	if cfg.DefaultTimeout <= 0 || cfg.DefaultTimeout > cfg.MaxTimeout {
+		cfg.DefaultTimeout = cfg.MaxTimeout
+	}
+	if cfg.BatchWorkers <= 0 {
+		cfg.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	nucleodb.PublishMetrics()
+	reg := metrics.Default()
+	s := &Server{
+		db:    db,
+		cfg:   cfg,
+		cache: newResultCache(cfg.CacheSize),
+		slots: make(chan struct{}, cfg.Workers),
+
+		mRequests:    reg.Counter("server_requests_total"),
+		mShed:        reg.Counter("server_shed_total"),
+		mTimeouts:    reg.Counter("server_timeouts_total"),
+		mCacheHits:   reg.Counter("server_cache_hits_total"),
+		mCacheMisses: reg.Counter("server_cache_misses_total"),
+		hLatency:     reg.Histogram("server_request_latency"),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats reports this server's result-cache effectiveness.
+func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
+
+// Hit is one search answer on the wire.
+type Hit struct {
+	ID           int     `json:"id"`
+	Desc         string  `json:"desc"`
+	Score        int     `json:"score"`
+	Identity     float64 `json:"identity"`
+	QueryStart   int     `json:"query_start"`
+	QueryEnd     int     `json:"query_end"`
+	SubjectStart int     `json:"subject_start"`
+	SubjectEnd   int     `json:"subject_end"`
+	Reverse      bool    `json:"reverse,omitempty"`
+	Bits         float64 `json:"bits"`
+	EValue       float64 `json:"evalue"`
+}
+
+func hitsFrom(rs []nucleodb.Result) []Hit {
+	hits := make([]Hit, len(rs))
+	for i, r := range rs {
+		hits[i] = Hit{
+			ID:           r.ID,
+			Desc:         r.Desc,
+			Score:        r.Score,
+			Identity:     r.Identity,
+			QueryStart:   r.QueryStart,
+			QueryEnd:     r.QueryEnd,
+			SubjectStart: r.SubjectStart,
+			SubjectEnd:   r.SubjectEnd,
+			Reverse:      r.Reverse,
+			Bits:         r.Bits,
+			EValue:       r.EValue,
+		}
+	}
+	return hits
+}
+
+// SearchResponse is the /search body. Cache status and wall time ride
+// in the X-Cafe-Cache and X-Cafe-Took-Us headers, not the body, so a
+// cached response is byte-identical to the search that filled it.
+type SearchResponse struct {
+	Results []Hit                 `json:"results"`
+	Stats   *nucleodb.SearchStats `json:"stats,omitempty"`
+}
+
+// BatchResponse is the /batch body; Stats aggregates the whole batch.
+type BatchResponse struct {
+	Results [][]Hit               `json:"results"`
+	Stats   *nucleodb.SearchStats `json:"stats,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	writeBody(w, code, body)
+}
+
+func writeBody(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(body, '\n'))
+}
+
+// searchRequest is the parameter set of one /search evaluation, from
+// URL parameters (GET) or a JSON body (POST). Pointer fields
+// distinguish "unset" from an explicit zero.
+type searchRequest struct {
+	Query      string `json:"query"`
+	Limit      *int   `json:"limit"`
+	Candidates *int   `json:"candidates"`
+	MinScore   *int   `json:"minscore"`
+	Prescreen  *int   `json:"prescreen"`
+	Band       *int   `json:"band"`
+	Strands    *bool  `json:"strands"`
+	Exact      *bool  `json:"exact"`
+	Timeout    string `json:"timeout"`
+	Stats      bool   `json:"stats"`
+	NoCache    bool   `json:"nocache"`
+}
+
+func intParam(q url.Values, name string) (*int, error) {
+	v := q.Get(name)
+	if v == "" {
+		return nil, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return nil, fmt.Errorf("parameter %s=%q is not an integer", name, v)
+	}
+	return &n, nil
+}
+
+func boolParam(q url.Values, name string) (*bool, error) {
+	v := q.Get(name)
+	if v == "" {
+		return nil, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return nil, fmt.Errorf("parameter %s=%q is not a boolean", name, v)
+	}
+	return &b, nil
+}
+
+// parseSearchRequest extracts a searchRequest from r: JSON body for
+// POST, URL parameters for GET.
+func parseSearchRequest(r *http.Request) (searchRequest, error) {
+	var req searchRequest
+	if r.Method == http.MethodPost {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return req, fmt.Errorf("decoding JSON body: %w", err)
+		}
+		return req, nil
+	}
+	q := r.URL.Query()
+	req.Query = q.Get("q")
+	if req.Query == "" {
+		req.Query = q.Get("query")
+	}
+	var err error
+	if req.Limit, err = intParam(q, "limit"); err != nil {
+		return req, err
+	}
+	if req.Candidates, err = intParam(q, "candidates"); err != nil {
+		return req, err
+	}
+	if req.MinScore, err = intParam(q, "minscore"); err != nil {
+		return req, err
+	}
+	if req.Prescreen, err = intParam(q, "prescreen"); err != nil {
+		return req, err
+	}
+	if req.Band, err = intParam(q, "band"); err != nil {
+		return req, err
+	}
+	var b *bool
+	if b, err = boolParam(q, "strands"); err != nil {
+		return req, err
+	}
+	req.Strands = b
+	if b, err = boolParam(q, "exact"); err != nil {
+		return req, err
+	}
+	req.Exact = b
+	if b, err = boolParam(q, "stats"); err != nil {
+		return req, err
+	}
+	req.Stats = b != nil && *b
+	if b, err = boolParam(q, "nocache"); err != nil {
+		return req, err
+	}
+	req.NoCache = b != nil && *b
+	req.Timeout = q.Get("timeout")
+	return req, nil
+}
+
+// options resolves the request's search options over the server
+// defaults.
+func (s *Server) options(req searchRequest) nucleodb.SearchOptions {
+	opts := s.cfg.Options
+	if req.Limit != nil {
+		opts.Limit = *req.Limit
+	}
+	if req.Candidates != nil {
+		opts.Candidates = *req.Candidates
+	}
+	if req.MinScore != nil {
+		opts.MinScore = *req.MinScore
+	}
+	if req.Prescreen != nil {
+		opts.Prescreen = *req.Prescreen
+	}
+	if req.Band != nil {
+		opts.Band = *req.Band
+	}
+	if req.Strands != nil {
+		opts.BothStrands = *req.Strands
+	}
+	if req.Exact != nil {
+		opts.Exact = *req.Exact
+	}
+	return opts
+}
+
+// timeout resolves the request's deadline: the client's ask capped by
+// MaxTimeout, or DefaultTimeout when unspecified.
+func (s *Server) timeout(req searchRequest) (time.Duration, error) {
+	if req.Timeout == "" {
+		return s.cfg.DefaultTimeout, nil
+	}
+	d, err := time.ParseDuration(req.Timeout)
+	if err != nil {
+		return 0, fmt.Errorf("parameter timeout=%q: %v", req.Timeout, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("parameter timeout=%q must be positive", req.Timeout)
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+// cacheKey builds the result-cache key: the canonical query letters
+// (encode/decode normalises case and U→T) plus every option that
+// affects the answer.
+func cacheKey(canonical string, opts nucleodb.SearchOptions) string {
+	return fmt.Sprintf("%s|%d|%d|%t|%t|%d|%d|%d|%t|%d",
+		canonical, opts.Candidates, opts.MinCoarseHits, opts.Diagonal, opts.Exact,
+		opts.Band, opts.MinScore, opts.Limit, opts.BothStrands, opts.Prescreen)
+}
+
+// errShed marks a request rejected because pool and queue are full.
+var errShed = errors.New("server overloaded")
+
+// acquire takes a worker slot, waiting in the bounded queue when all
+// workers are busy. It fails fast with errShed when the queue is full
+// and with ctx.Err() when the request deadline passes while queued.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		return errShed
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.slots }
+
+// failSearch maps a search error onto the wire: 504 for a deadline,
+// nothing for a vanished client, 400 for option validation, 500
+// otherwise. Returns true when the worker should count a timeout.
+func (s *Server) failSearch(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.mTimeouts.Inc()
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "search timed out"})
+	case errors.Is(err, context.Canceled):
+		// The client went away; there is nobody to answer.
+	case errors.Is(err, errShed):
+		s.mShed.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server overloaded, retry later"})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use GET or POST"})
+		return
+	}
+	s.mRequests.Inc()
+	start := time.Now()
+	req, err := parseSearchRequest(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if req.Query == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing query (q= parameter or JSON body)"})
+		return
+	}
+	if len(req.Query) > s.cfg.MaxQueryBases {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{Error: fmt.Sprintf("query of %d bases exceeds the %d-base limit", len(req.Query), s.cfg.MaxQueryBases)})
+		return
+	}
+	codes, err := dna.Encode([]byte(req.Query))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	timeout, err := s.timeout(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	opts := s.options(req)
+
+	// Stats requests measure an execution, so they bypass the cache in
+	// both directions; everything else is served from and feeds it.
+	useCache := !req.NoCache && !req.Stats
+	key := ""
+	if useCache {
+		key = cacheKey(dna.String(codes), opts)
+		if body, ok := s.cache.get(key); ok {
+			s.mCacheHits.Inc()
+			w.Header().Set("X-Cafe-Cache", "hit")
+			w.Header().Set("X-Cafe-Took-Us", strconv.FormatInt(time.Since(start).Microseconds(), 10))
+			writeBody(w, http.StatusOK, body)
+			return
+		}
+		s.mCacheMisses.Inc()
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.failSearch(w, err)
+		return
+	}
+	rs, st, err := s.db.SearchCodesWithStatsContext(ctx, codes, opts)
+	s.release()
+	if err != nil {
+		s.failSearch(w, err)
+		return
+	}
+	resp := SearchResponse{Results: hitsFrom(rs)}
+	if req.Stats {
+		resp.Stats = &st
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "encoding response"})
+		return
+	}
+	if useCache {
+		s.cache.put(key, body)
+	}
+	took := time.Since(start)
+	s.hLatency.Observe(took)
+	w.Header().Set("X-Cafe-Cache", "miss")
+	w.Header().Set("X-Cafe-Took-Us", strconv.FormatInt(took.Microseconds(), 10))
+	writeBody(w, http.StatusOK, body)
+}
+
+// batchRequest is the /batch body.
+type batchRequest struct {
+	Queries []string `json:"queries"`
+	searchRequest
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
+		return
+	}
+	s.mRequests.Inc()
+	start := time.Now()
+	var req batchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decoding JSON body: %v", err)})
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing queries"})
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatchQueries {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{Error: fmt.Sprintf("batch of %d queries exceeds the %d-query limit", len(req.Queries), s.cfg.MaxBatchQueries)})
+		return
+	}
+	for i, q := range req.Queries {
+		if len(q) > s.cfg.MaxQueryBases {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("query %d of %d bases exceeds the %d-base limit", i, len(q), s.cfg.MaxQueryBases)})
+			return
+		}
+	}
+	timeout, err := s.timeout(req.searchRequest)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	opts := s.options(req.searchRequest)
+
+	// A batch occupies one pool slot; its internal fan-out is bounded
+	// separately so one big batch cannot monopolise every worker.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.failSearch(w, err)
+		return
+	}
+	lists, st, err := s.db.SearchBatchWithStatsContext(ctx, req.Queries, opts, s.cfg.BatchWorkers)
+	s.release()
+	if err != nil {
+		s.failSearch(w, err)
+		return
+	}
+	resp := BatchResponse{Results: make([][]Hit, len(lists))}
+	for i, rs := range lists {
+		resp.Results[i] = hitsFrom(rs)
+	}
+	if req.Stats {
+		resp.Stats = &st
+	}
+	took := time.Since(start)
+	s.hLatency.Observe(took)
+	w.Header().Set("X-Cafe-Took-Us", strconv.FormatInt(took.Microseconds(), 10))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// healthzResponse is deliberately static for a given database so
+// probes and golden tests see a stable body.
+type healthzResponse struct {
+	Status    string `json:"status"`
+	Sequences int    `json:"sequences"`
+	Bases     int    `json:"bases"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:    "ok",
+		Sequences: s.db.NumSequences(),
+		Bases:     s.db.TotalBases(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := nucleodb.WriteMetrics(w); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "encoding metrics"})
+	}
+}

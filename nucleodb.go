@@ -22,6 +22,7 @@
 package nucleodb
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -109,18 +110,41 @@ func DefaultBuildConfig() BuildConfig {
 
 // Database couples a compressed sequence store with its interval index
 // and evaluates partitioned queries. It is safe for concurrent Search
-// calls.
+// calls: each in-flight search borrows a searcher (coarse accumulators
+// and decode scratch) from an internal pool, so concurrent queries run
+// genuinely in parallel instead of serialising on a lock.
 type Database struct {
 	store *db.Store
 	idx   *index.Index
 
-	mu       sync.Mutex
-	searcher *core.Searcher
-	scoring  align.Scoring
+	scoring align.Scoring
+
+	// searchers pools *core.Searcher scratch for the current index.
+	// Append swaps d.idx; stale pooled searchers are detected by
+	// comparing their index pointer and dropped on checkout.
+	searchers sync.Pool
 
 	statsOnce sync.Once
 	statsP    stats.Params
 	statsErr  error
+}
+
+// getSearcher checks a searcher for the current index out of the pool,
+// constructing one when the pool is empty or holds searchers built for
+// a pre-Append index.
+func (d *Database) getSearcher() (*core.Searcher, error) {
+	if s, ok := d.searchers.Get().(*core.Searcher); ok && s.Index() == d.idx {
+		return s, nil
+	}
+	return core.NewSearcher(d.idx, d.store, d.scoring)
+}
+
+// putSearcher returns a searcher to the pool unless Append has replaced
+// the index since it was checked out.
+func (d *Database) putSearcher(s *core.Searcher) {
+	if s.Index() == d.idx {
+		d.searchers.Put(s)
+	}
 }
 
 // Build constructs a database from records.
@@ -176,7 +200,9 @@ func newDatabase(store *db.Store, idx *index.Index, scoring Scoring) (*Database,
 	if err != nil {
 		return nil, fmt.Errorf("nucleodb: %w", err)
 	}
-	return &Database{store: store, idx: idx, searcher: searcher, scoring: s}, nil
+	d := &Database{store: store, idx: idx, scoring: s}
+	d.searchers.Put(searcher)
+	return d, nil
 }
 
 // File names used inside a saved database directory.
@@ -529,22 +555,39 @@ func PublishMetrics() { metrics.PublishExpvar() }
 // Search evaluates a query given as IUPAC letters and returns ranked
 // answers.
 func (d *Database) Search(query string, opts SearchOptions) ([]Result, error) {
+	return d.SearchContext(context.Background(), query, opts)
+}
+
+// SearchContext is Search with cooperative cancellation: when ctx is
+// cancelled or its deadline passes, the evaluation stops at the next
+// posting list (coarse phase) or candidate boundary (prescreen, fine
+// alignment, traceback) and returns an error wrapping ctx.Err() — so a
+// long Smith–Waterman fine phase no longer runs to completion after
+// the caller has gone away. With context.Background() the results are
+// identical to Search's.
+func (d *Database) SearchContext(ctx context.Context, query string, opts SearchOptions) ([]Result, error) {
 	codes, err := dna.Encode([]byte(query))
 	if err != nil {
 		return nil, fmt.Errorf("nucleodb: query: %w", err)
 	}
-	return d.SearchCodes(codes, opts)
+	return d.SearchCodesContext(ctx, codes, opts)
 }
 
 // SearchWithStats evaluates a query and also returns the per-stage
 // work and latency breakdown of the evaluation. Results are identical
 // to Search's (the stats collection only observes).
 func (d *Database) SearchWithStats(query string, opts SearchOptions) ([]Result, SearchStats, error) {
+	return d.SearchWithStatsContext(context.Background(), query, opts)
+}
+
+// SearchWithStatsContext is SearchContext with the stats collection of
+// SearchWithStats.
+func (d *Database) SearchWithStatsContext(ctx context.Context, query string, opts SearchOptions) ([]Result, SearchStats, error) {
 	codes, err := dna.Encode([]byte(query))
 	if err != nil {
 		return nil, SearchStats{}, fmt.Errorf("nucleodb: query: %w", err)
 	}
-	return d.SearchCodesWithStats(codes, opts)
+	return d.SearchCodesWithStatsContext(ctx, codes, opts)
 }
 
 // SearchCodes evaluates a query already in internal code form; callers
@@ -554,12 +597,27 @@ func (d *Database) SearchCodes(codes []byte, opts SearchOptions) ([]Result, erro
 	return rs, err
 }
 
+// SearchCodesContext is SearchContext for pre-encoded queries.
+func (d *Database) SearchCodesContext(ctx context.Context, codes []byte, opts SearchOptions) ([]Result, error) {
+	rs, _, err := d.SearchCodesWithStatsContext(ctx, codes, opts)
+	return rs, err
+}
+
 // SearchCodesWithStats is SearchWithStats for pre-encoded queries.
 func (d *Database) SearchCodesWithStats(codes []byte, opts SearchOptions) ([]Result, SearchStats, error) {
+	return d.SearchCodesWithStatsContext(context.Background(), codes, opts)
+}
+
+// SearchCodesWithStatsContext is the full-generality search entry
+// point: pre-encoded query, cooperative cancellation, and stats.
+func (d *Database) SearchCodesWithStatsContext(ctx context.Context, codes []byte, opts SearchOptions) ([]Result, SearchStats, error) {
 	var cst core.SearchStats
-	d.mu.Lock()
-	rs, err := d.searcher.SearchWithStats(codes, opts.internal(), &cst)
-	d.mu.Unlock()
+	searcher, err := d.getSearcher()
+	if err != nil {
+		return nil, SearchStats{}, fmt.Errorf("nucleodb: %w", err)
+	}
+	rs, err := searcher.SearchWithStatsContext(ctx, codes, opts.internal(), &cst)
+	d.putSearcher(searcher)
 	if err != nil {
 		return nil, SearchStats{}, fmt.Errorf("nucleodb: %w", err)
 	}
@@ -657,7 +715,10 @@ func (d *Database) Append(records []Record) error {
 		return fmt.Errorf("nucleodb: append: %w", err)
 	}
 	d.idx = merged
-	d.searcher = searcher
+	// Pooled searchers built for the old index are now stale;
+	// getSearcher drops them on checkout (their Index() pointer no
+	// longer matches). Prime the pool with one current searcher.
+	d.searchers.Put(searcher)
 	return nil
 }
 
