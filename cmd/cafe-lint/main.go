@@ -3,12 +3,22 @@
 //
 //	file:line: pass: message
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// or, with -format, as a JSON report or a SARIF 2.1.0 log suitable for
+// code-scanning upload. A committed baseline file (-baseline) suppresses
+// known findings so the gate only fails on new ones; -write-baseline
+// regenerates it from the current findings.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. A package
+// that fails to type-check is a load failure: every broken package is
+// reported to stderr with its error and the run exits 2, because silent
+// partial analysis would let real findings hide behind a typo.
 //
 // Usage:
 //
-//	cafe-lint ./...              # whole module (the directory's module)
-//	cafe-lint ./internal/index   # restrict findings to one package
+//	cafe-lint ./...                        # whole module (the directory's module)
+//	cafe-lint ./internal/index             # restrict findings to one package
+//	cafe-lint -format sarif ./...          # SARIF log on stdout
+//	cafe-lint -baseline lint.baseline ./.. # fail only on unbaselined findings
 package main
 
 import (
@@ -30,11 +40,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cafe-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dir := fs.String("C", ".", "directory whose module to analyze")
+	format := fs.String("format", "text", "output format: text, json, or sarif")
+	baselinePath := fs.String("baseline", "", "baseline file of known findings to suppress")
+	writeBaseline := fs.Bool("write-baseline", false, "write current findings to the -baseline file and exit 0")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: cafe-lint [-C dir] [packages]")
+		fmt.Fprintln(stderr, "usage: cafe-lint [-C dir] [-format text|json|sarif] [-baseline file [-write-baseline]] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "cafe-lint: unknown -format %q (want text, json, or sarif)\n", *format)
+		return 2
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(stderr, "cafe-lint: -write-baseline needs -baseline to name the file")
 		return 2
 	}
 	patterns := fs.Args()
@@ -47,6 +70,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	if len(prog.Failed) > 0 {
+		for _, fail := range prog.Failed {
+			fmt.Fprintf(stderr, "cafe-lint: package %s failed to load: %v\n", fail.Path, fail.Err)
+		}
+		fmt.Fprintf(stderr, "cafe-lint: %d package(s) failed to type-check; fix them before linting\n", len(prog.Failed))
+		return 2
+	}
 	keep, err := matcher(prog, *dir, patterns)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -54,11 +84,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	findings := analysis.Analyze(prog, analysis.DefaultPasses(), keep)
-	for _, line := range analysis.Format(prog, findings) {
-		fmt.Fprintln(stdout, line)
+	report := analysis.NewReport(prog, findings)
+
+	if *writeBaseline {
+		f, err := os.Create(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "cafe-lint: %v\n", err)
+			return 2
+		}
+		werr := report.WriteBaseline(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "cafe-lint: write baseline: %v\n", werr)
+			return 2
+		}
+		fmt.Fprintf(stderr, "cafe-lint: wrote %d finding(s) to %s\n", report.Count, *baselinePath)
+		return 0
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(stderr, "cafe-lint: %d finding(s)\n", len(findings))
+	if *baselinePath != "" {
+		base, err := analysis.ReadBaselineFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "cafe-lint: %v\n", err)
+			return 2
+		}
+		if n := report.ApplyBaseline(base); n > 0 {
+			fmt.Fprintf(stderr, "cafe-lint: %d baselined finding(s) suppressed\n", n)
+		}
+	}
+
+	switch *format {
+	case "json":
+		if err := report.WriteJSON(stdout); err != nil {
+			fmt.Fprintf(stderr, "cafe-lint: %v\n", err)
+			return 2
+		}
+	case "sarif":
+		if err := report.WriteSARIF(stdout); err != nil {
+			fmt.Fprintf(stderr, "cafe-lint: %v\n", err)
+			return 2
+		}
+	default:
+		if err := report.WriteText(stdout); err != nil {
+			fmt.Fprintf(stderr, "cafe-lint: %v\n", err)
+			return 2
+		}
+	}
+	if report.Count > 0 {
+		fmt.Fprintf(stderr, "cafe-lint: %d finding(s)\n", report.Count)
 		return 1
 	}
 	return 0

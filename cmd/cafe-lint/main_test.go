@@ -2,11 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
-const fixtureModule = "../../internal/analysis/testdata/src/fixture"
+const (
+	fixtureModule = "../../internal/analysis/testdata/src/fixture"
+	brokenModule  = "../../internal/analysis/testdata/src/broken"
+)
 
 // TestRunFixtureModule drives the CLI end to end against the seeded
 // fixture module: dirty tree → exit 1 with findings on stdout, a clean
@@ -26,11 +31,11 @@ func TestRunFixtureModule(t *testing.T) {
 		t.Errorf("stderr lacks the finding count: %q", errb.String())
 	}
 
-	// fixture/errs has no hotpath annotations and the default errcheck
-	// scope names this repo's packages, so selecting it must be clean.
+	// fixture/clean passes every pass in the default suite, so
+	// selecting it must be clean even though its siblings are dirty.
 	out.Reset()
 	errb.Reset()
-	if code := run([]string{"-C", fixtureModule, "./errs"}, &out, &errb); code != 0 {
+	if code := run([]string{"-C", fixtureModule, "./clean"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d on a clean package selection, want 0\nstdout:\n%s\nstderr:\n%s",
 			code, out.String(), errb.String())
 	}
@@ -43,5 +48,104 @@ func TestRunNoModule(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-C", t.TempDir(), "./..."}, &out, &errb); code != 2 {
 		t.Fatalf("exit %d outside any module, want 2\nstderr:\n%s", code, errb.String())
+	}
+}
+
+// TestRunBrokenPackage locks in the load-failure contract: a package
+// that does not type-check makes the run exit 2 with a per-package
+// error naming the import path, not exit 0 with the package silently
+// skipped.
+func TestRunBrokenPackage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", brokenModule, "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d on a module with a type error, want 2\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "package broken/bad failed to load") {
+		t.Errorf("stderr does not name the broken package:\n%s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "undefined") {
+		t.Errorf("stderr does not include the type error:\n%s", errb.String())
+	}
+}
+
+func TestRunFormatJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", fixtureModule, "-format", "json", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	var report struct {
+		Module   string `json:"module"`
+		Count    int    `json:"count"`
+		Findings []struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Pass string `json:"pass"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("-format json output does not parse: %v\n%s", err, out.String())
+	}
+	if report.Module != "fixture" || report.Count == 0 || len(report.Findings) != report.Count {
+		t.Errorf("module %q count %d findings %d", report.Module, report.Count, len(report.Findings))
+	}
+}
+
+func TestRunFormatSARIF(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", fixtureModule, "-format", "sarif", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("-format sarif output does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || len(log.Runs[0].Results) == 0 {
+		t.Errorf("version %q, %d runs", log.Version, len(log.Runs))
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-C", fixtureModule, "-format", "yaml", "./..."}, &out, &errb); code != 2 {
+		t.Errorf("exit %d on an unknown format, want 2", code)
+	}
+}
+
+// TestRunBaselineFlow exercises the adopt-then-gate workflow:
+// -write-baseline captures the current findings, and a rerun against
+// that file is clean; deleting the file makes -baseline an error.
+func TestRunBaselineFlow(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "lint.baseline")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", fixtureModule, "-baseline", base, "-write-baseline", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("-write-baseline exit %d, want 0\nstderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "wrote") {
+		t.Errorf("stderr does not confirm the write: %q", errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-C", fixtureModule, "-baseline", base, "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d against a full baseline, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "suppressed") {
+		t.Errorf("stderr does not report the suppression: %q", errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-C", fixtureModule, "-baseline", filepath.Join(t.TempDir(), "missing"), "./..."}, &out, &errb); code != 2 {
+		t.Errorf("exit %d with a missing baseline file, want 2", code)
+	}
+
+	if code := run([]string{"-C", fixtureModule, "-write-baseline", "./..."}, &out, &errb); code != 2 {
+		t.Errorf("exit %d for -write-baseline without -baseline, want 2", code)
 	}
 }

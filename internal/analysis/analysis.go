@@ -2,7 +2,7 @@
 // analysis suite over the index and alignment kernels, built on the
 // standard library's go/parser, go/ast and go/types only.
 //
-// Three passes enforce the invariants the partitioned-search design
+// Six passes enforce the invariants the partitioned-search design
 // depends on:
 //
 //   - hotpath: functions declared with a //cafe:hotpath directive (the
@@ -20,13 +20,28 @@
 //     by a nil check (the instrumentation contract PR 1 established by
 //     convention), and sync/atomic values may only be touched through
 //     their methods.
+//   - atomic: a struct field accessed through sync/atomic anywhere must
+//     be accessed that way everywhere; one plain load or store next to
+//     an atomic.AddInt64 is a data race the race detector only finds
+//     when the schedules collide.
+//   - ctx: context must propagate. A function that receives a
+//     context.Context may not call a context-free sibling (Search where
+//     SearchContext exists), and the serving packages may not
+//     manufacture fresh contexts with context.Background()/TODO().
+//   - goroutine: a go statement must be joined, counted, or
+//     cancellable — a WaitGroup the goroutine counts down, a Done()
+//     channel it selects on, or a channel it signals that the spawning
+//     function drains. Anything else is a potential leak past the
+//     server's drain path.
 //
 // A finding on one line can be waived with a trailing
-// "//cafe:allow <reason>" comment; the reason is mandatory. Waivers are
+// "//cafe:allow <reason>" comment; the reason is mandatory. Naming a
+// pass first ("//cafe:allow ctx <reason>") scopes the waiver to that
+// pass alone, leaving the line visible to every other pass. Waivers are
 // for constructs the analysis cannot prove safe but a human can: the
 // amortised scratch append inside the postings iterator, the O(band)
 // setup allocations of the banded kernel, fmt.Errorf on cold
-// corruption paths.
+// corruption paths, the documented context-free wrappers.
 package analysis
 
 import (
@@ -48,13 +63,23 @@ type Finding struct {
 // String renders the finding in the tool's output format, with the file
 // path relative to base when possible.
 func (f Finding) format(base string) string {
-	file := f.Pos.Filename
+	return fmt.Sprintf("%s:%d: %s: %s", relFile(base, f.Pos.Filename), f.Pos.Line, f.PassName, f.Message)
+}
+
+// relFile strips base from an absolute filename when possible.
+func relFile(base, file string) string {
 	if base != "" {
 		if rel, ok := strings.CutPrefix(file, base+"/"); ok {
-			file = rel
+			return rel
 		}
 	}
-	return fmt.Sprintf("%s:%d: %s: %s", file, f.Pos.Line, f.PassName, f.Message)
+	return file
+}
+
+// relPosition renders a position as "file:line" relative to the
+// program root, for cross-references inside diagnostic messages.
+func relPosition(prog *Program, pos token.Position) string {
+	return fmt.Sprintf("%s:%d", relFile(prog.Root, pos.Filename), pos.Line)
 }
 
 // String renders the finding with its full file path.
@@ -91,6 +116,12 @@ func DefaultPasses() []Pass {
 		&StatsPass{GuardedTypes: []string{
 			"nucleodb/internal/core.SearchStats",
 		}},
+		&AtomicPass{},
+		&CtxPass{ForbidBackgroundIn: []string{
+			"nucleodb/internal/server",
+			"nucleodb/internal/core",
+		}},
+		&GoPass{},
 	}
 }
 
@@ -106,7 +137,7 @@ func Analyze(prog *Program, passes []Pass, keep func(pkgPath string) bool) []Fin
 		out = append(out, pkg.badDirectives...)
 		for _, p := range passes {
 			for _, f := range p.Run(prog, pkg) {
-				if !pkg.waivedAt(f.Pos) {
+				if !pkg.waivedAt(f.Pos, p.Name()) {
 					out = append(out, f)
 				}
 			}
@@ -132,6 +163,10 @@ const (
 	allowDirective   = "//cafe:allow"
 )
 
+// allScopes is the waiver-map key meaning "every pass": a
+// //cafe:allow whose first word names no pass waives the whole line.
+const allScopes = ""
+
 // collectDirectives scans a package's comments for cafe: directives,
 // filling the program's hotpath set and the package's waived-line map.
 func collectDirectives(prog *Program, pkg *Package) {
@@ -144,20 +179,38 @@ func collectDirectives(prog *Program, pkg *Package) {
 					continue
 				}
 				pos := prog.Fset.Position(c.Pos())
-				if strings.TrimSpace(rest) == "" || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// Some other //cafe:allowX token; not this directive.
 					pkg.badDirectives = append(pkg.badDirectives, Finding{
 						Pos:      pos,
 						PassName: "directive",
-						Message:  "cafe:allow needs a reason: //cafe:allow <why this is safe>",
+						Message:  "cafe:allow needs a reason: //cafe:allow [pass] <why this is safe>",
+					})
+					continue
+				}
+				scope := allScopes
+				words := strings.Fields(rest)
+				if len(words) > 0 && validScope(words[0]) {
+					scope = words[0]
+					words = words[1:]
+				}
+				if len(words) == 0 {
+					pkg.badDirectives = append(pkg.badDirectives, Finding{
+						Pos:      pos,
+						PassName: "directive",
+						Message:  "cafe:allow needs a reason: //cafe:allow [pass] <why this is safe>",
 					})
 					continue
 				}
 				lines := pkg.waived[filename]
 				if lines == nil {
-					lines = map[int]bool{}
+					lines = map[int]map[string]bool{}
 					pkg.waived[filename] = lines
 				}
-				lines[pos.Line] = true
+				if lines[pos.Line] == nil {
+					lines[pos.Line] = map[string]bool{}
+				}
+				lines[pos.Line][scope] = true
 			}
 		}
 		for _, decl := range file.Decls {
@@ -176,9 +229,11 @@ func collectDirectives(prog *Program, pkg *Package) {
 	}
 }
 
-// waivedAt reports whether pos lies on a //cafe:allow line.
-func (pkg *Package) waivedAt(pos token.Position) bool {
-	return pkg.waived[pos.Filename][pos.Line]
+// waivedAt reports whether pos lies on a //cafe:allow line whose scope
+// covers pass — either an unscoped waiver or one naming pass itself.
+func (pkg *Package) waivedAt(pos token.Position, pass string) bool {
+	scopes := pkg.waived[pos.Filename][pos.Line]
+	return scopes[allScopes] || scopes[pass]
 }
 
 // funcDecls visits every function declaration with a body in the

@@ -29,6 +29,9 @@ func loadFixture(t *testing.T) *analysis.Program {
 	if err != nil {
 		t.Fatalf("load fixture module: %v", err)
 	}
+	if len(prog.Failed) > 0 {
+		t.Fatalf("fixture packages failed to load: %v", prog.Failed)
+	}
 	return prog
 }
 
@@ -122,6 +125,36 @@ func TestStatsPassFixtures(t *testing.T) {
 	runPass(t, &analysis.StatsPass{GuardedTypes: []string{"fixture/stats.Stats"}}, "fixture/stats")
 }
 
+func TestAtomicPassFixtures(t *testing.T) {
+	runPass(t, &analysis.AtomicPass{}, "fixture/atomics")
+}
+
+func TestCtxPassFixtures(t *testing.T) {
+	runPass(t, &analysis.CtxPass{ForbidBackgroundIn: []string{"fixture/ctxpkg"}}, "fixture/ctxpkg")
+}
+
+func TestGoPassFixtures(t *testing.T) {
+	runPass(t, &analysis.GoPass{}, "fixture/gor")
+}
+
+// TestCtxPassScope checks that Background/TODO are only forbidden in
+// the configured packages: with no ForbidBackgroundIn, only the
+// sibling-call violations remain.
+func TestCtxPassScope(t *testing.T) {
+	prog := loadFixture(t)
+	pass := &analysis.CtxPass{}
+	findings := analysis.Analyze(prog, []analysis.Pass{pass}, keepOnly("fixture/ctxpkg"))
+	for _, line := range analysis.Format(prog, findings) {
+		if strings.Contains(line, "context.Background") || strings.Contains(line, "context.TODO") {
+			t.Errorf("Background/TODO flagged outside the configured packages: %s", line)
+		}
+	}
+	if len(findings) != 2 {
+		t.Errorf("want exactly the 2 sibling-call findings, got %d:\n%s",
+			len(findings), strings.Join(analysis.Format(prog, findings), "\n"))
+	}
+}
+
 // TestErrcheckScope checks the package filter: fixture/hot drops
 // fmt.Println's error on purpose, and a pass scoped to fixture/errs
 // must not see it.
@@ -157,8 +190,10 @@ func TestDirectives(t *testing.T) {
 		return 0
 	}
 	want := map[string]bool{
-		fmt.Sprintf("directives/directives.go:%d directive", lineOf("\t//cafe:allow")): true,
-		fmt.Sprintf("directives/directives.go:%d hotpath", lineOf("append(xs, 2)")):    true,
+		fmt.Sprintf("directives/directives.go:%d directive", lineOf("\t//cafe:allow")):         true,
+		fmt.Sprintf("directives/directives.go:%d directive", lineOf("//cafe:allow goroutine")): true,
+		fmt.Sprintf("directives/directives.go:%d hotpath", lineOf("append(xs, 2)")):            true,
+		fmt.Sprintf("directives/directives.go:%d hotpath", lineOf("append(xs, 4)")):            true,
 	}
 	got, lines := gotKeys(t, prog, findings)
 	for key := range want {
@@ -184,9 +219,46 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	for _, fail := range prog.Failed {
+		t.Errorf("package %s failed to load: %v", fail.Path, fail.Err)
+	}
 	findings := analysis.Analyze(prog, analysis.DefaultPasses(), nil)
 	if len(findings) != 0 {
 		t.Fatalf("default passes report findings on the repository:\n%s",
+			strings.Join(analysis.Format(prog, findings), "\n"))
+	}
+}
+
+// TestLoadRecordsPerPackageFailures drives the loader over a module
+// with one broken package: the failure must be recorded per package
+// with the import path, and the healthy sibling must still load and
+// analyze.
+func TestLoadRecordsPerPackageFailures(t *testing.T) {
+	prog, err := analysis.Load("testdata/src/broken", "broken")
+	if err != nil {
+		t.Fatalf("a broken package must not abort the module load: %v", err)
+	}
+	if len(prog.Failed) != 1 {
+		t.Fatalf("want exactly 1 failed package, got %d: %v", len(prog.Failed), prog.Failed)
+	}
+	fail := prog.Failed[0]
+	if fail.Path != "broken/bad" {
+		t.Errorf("failed package path = %q, want broken/bad", fail.Path)
+	}
+	if !strings.Contains(fail.Err.Error(), "undefinedIdent") && !strings.Contains(fail.Err.Error(), "undefined") {
+		t.Errorf("failure does not name the type error: %v", fail.Err)
+	}
+	var paths []string
+	for _, pkg := range prog.Packages {
+		paths = append(paths, pkg.Path)
+	}
+	if len(prog.Packages) != 1 || prog.Packages[0].Path != "broken/good" {
+		t.Errorf("healthy packages = %v, want [broken/good]", paths)
+	}
+	// Analysis over the partial program must not panic and must stay
+	// clean (broken/good has nothing to flag).
+	if findings := analysis.Analyze(prog, analysis.DefaultPasses(), nil); len(findings) != 0 {
+		t.Errorf("unexpected findings on the healthy package:\n%s",
 			strings.Join(analysis.Format(prog, findings), "\n"))
 	}
 }

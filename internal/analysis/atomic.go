@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicPass enforces all-or-nothing atomicity on struct fields: a
+// field that is accessed through sync/atomic anywhere in the module —
+// atomic.AddInt64(&s.n, 1), or a method call on an atomic.Int64-style
+// field — must be accessed that way everywhere. A plain load or store
+// of the same field elsewhere is a data race the race detector only
+// catches when the two schedules actually collide; statically the mix
+// is always wrong. The consumers are the internal/metrics counters and
+// the internal/server cache and pool statistics, which the serving
+// path mutates from many goroutines at once.
+//
+// The pass builds one module-wide access map (field object → atomic
+// and plain access sites) and reports every plain access of a field
+// that is atomic anywhere, naming the first atomic site so the reader
+// can see the conflict. Deliberate scope limits: taking a field's
+// address outside a direct sync/atomic call is neutral (indirection is
+// beyond this pass), composite-literal keys are not accesses, and only
+// fields whose type sync/atomic could operate on are tracked.
+type AtomicPass struct {
+	built bool
+	use   map[*types.Var]*atomicFieldUse
+}
+
+// atomicFieldUse accumulates one field's access sites across the
+// whole module.
+type atomicFieldUse struct {
+	field    *types.Var
+	owner    string // the declaring struct type, for diagnostics
+	atomicAt []token.Position
+	plainAt  []atomicPlainSite
+}
+
+// atomicPlainSite is one plain load/store, attributed to the package
+// it occurs in so findings land with that package's Run.
+type atomicPlainSite struct {
+	pkgPath string
+	pos     token.Position
+}
+
+// Name implements Pass.
+func (p *AtomicPass) Name() string { return "atomic" }
+
+// Run implements Pass. The module-wide access map is built once, on
+// the first package, then each package reports its own plain-access
+// sites of mixed fields.
+func (p *AtomicPass) Run(prog *Program, pkg *Package) []Finding {
+	if !p.built {
+		p.built = true
+		p.use = map[*types.Var]*atomicFieldUse{}
+		for _, other := range prog.Packages {
+			p.scan(prog, other)
+		}
+	}
+	var out []Finding
+	for _, u := range p.use {
+		if len(u.atomicAt) == 0 || len(u.plainAt) == 0 {
+			continue
+		}
+		for _, site := range u.plainAt {
+			if site.pkgPath != pkg.Path {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:      site.pos,
+				PassName: p.Name(),
+				Message: fmt.Sprintf("plain access of %s.%s, which is accessed atomically at %s; use sync/atomic consistently",
+					u.owner, u.field.Name(), relPosition(prog, u.atomicAt[0])),
+			})
+		}
+	}
+	return out
+}
+
+// scan classifies every struct-field access in one package.
+func (p *AtomicPass) scan(prog *Program, pkg *Package) {
+	for _, file := range pkg.Files {
+		// neutral marks selector nodes already accounted for — the
+		// &s.f inside an atomic call, the s.f under s.f.Load(), and
+		// address-of operands, which are neither loads nor stores.
+		neutral := map[ast.Expr]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				p.classifyCall(prog, pkg, n, neutral)
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if sel, ok := unparen(n.X).(*ast.SelectorExpr); ok {
+						neutral[sel] = true
+					}
+				}
+			case *ast.SelectorExpr:
+				if neutral[n] {
+					return true
+				}
+				if fld := fieldOf(pkg.Info, n); fld != nil && atomicCapable(fld.Type()) {
+					u := p.useOf(pkg, n, fld)
+					u.plainAt = append(u.plainAt, atomicPlainSite{
+						pkgPath: pkg.Path,
+						pos:     prog.Fset.Position(n.Pos()),
+					})
+				}
+			}
+			return true
+		})
+	}
+}
+
+// classifyCall records atomic accesses made by one call: the &field
+// arguments of a sync/atomic function, or the receiver field of a
+// sync/atomic method (atomic.Int64 and friends).
+func (p *AtomicPass) classifyCall(prog *Program, pkg *Package, call *ast.CallExpr, neutral map[ast.Expr]bool) {
+	fn := calleeFunc(pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	if sig.Recv() != nil {
+		// s.f.Load(): the receiver selector is the atomic access.
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if recv, ok := unparen(sel.X).(*ast.SelectorExpr); ok {
+				if fld := fieldOf(pkg.Info, recv); fld != nil {
+					neutral[recv] = true
+					u := p.useOf(pkg, recv, fld)
+					u.atomicAt = append(u.atomicAt, prog.Fset.Position(recv.Pos()))
+				}
+			}
+		}
+		return
+	}
+	// atomic.AddInt64(&s.f, delta): the &-argument fields are atomic;
+	// every other argument is an ordinary expression.
+	for _, arg := range call.Args {
+		and, ok := unparen(arg).(*ast.UnaryExpr)
+		if !ok || and.Op != token.AND {
+			continue
+		}
+		sel, ok := unparen(and.X).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		if fld := fieldOf(pkg.Info, sel); fld != nil {
+			neutral[sel] = true
+			u := p.useOf(pkg, sel, fld)
+			u.atomicAt = append(u.atomicAt, prog.Fset.Position(sel.Pos()))
+		}
+	}
+}
+
+// useOf returns the accumulator for fld, creating it on first sight.
+func (p *AtomicPass) useOf(pkg *Package, sel *ast.SelectorExpr, fld *types.Var) *atomicFieldUse {
+	u, ok := p.use[fld]
+	if !ok {
+		owner := "struct"
+		if t := pkg.Info.TypeOf(sel.X); t != nil {
+			owner = typeShort(t)
+		}
+		u = &atomicFieldUse{field: fld, owner: owner}
+		p.use[fld] = u
+	}
+	return u
+}
+
+// fieldOf resolves sel to the struct field it reads or writes, or nil
+// when sel is not a field access (package member, method, …).
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// atomicCapable reports whether sync/atomic could operate on a value
+// of type t: the atomic.* wrapper types themselves, or the integer and
+// unsafe-pointer shapes the function-style API takes.
+func atomicCapable(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			return true
+		}
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32, types.Int64, types.Uint32, types.Uint64,
+			types.Uintptr, types.UnsafePointer:
+			return true
+		}
+	}
+	return false
+}

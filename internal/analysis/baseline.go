@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Baselines let a newly added pass land before every pre-existing
+// finding is fixed: accepted findings are committed to a baseline file
+// and stop failing the build, while anything new still does. A
+// baselined finding is identified by (file, pass, message) — line
+// numbers drift with every edit, so they are deliberately not part of
+// the identity. The baseline is a multiset: if a file holds one
+// baselined finding and a change introduces an identical second one,
+// the second is new and reported.
+
+// baselineKey is the identity of one accepted finding.
+func (d Diagnostic) baselineKey() string {
+	return d.File + "\t" + d.Pass + "\t" + d.Message
+}
+
+// ReadBaseline parses a baseline: one finding per line as
+// "file<TAB>pass<TAB>message", with '#' comments and blank lines
+// ignored. The result maps each key to its accepted count.
+func ReadBaseline(r io.Reader) (map[string]int, error) {
+	base := map[string]int{}
+	sc := bufio.NewScanner(r)
+	for n := 1; sc.Scan(); n++ {
+		line := strings.TrimRight(sc.Text(), "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, "\t") != 2 {
+			return nil, fmt.Errorf("analysis: baseline line %d: want file<TAB>pass<TAB>message, got %q", n, line)
+		}
+		base[line]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("analysis: baseline: %w", err)
+	}
+	return base, nil
+}
+
+// ReadBaselineFile reads the baseline at path; a missing file is an
+// error (commit an empty baseline rather than none, so a typoed path
+// cannot silently disable the gate).
+func ReadBaselineFile(path string) (map[string]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: baseline: %w", err)
+	}
+	defer f.Close()
+	return ReadBaseline(f)
+}
+
+// ApplyBaseline removes findings accepted by the baseline from the
+// report, consuming one baseline slot per match, and returns the
+// number suppressed. Report order is preserved.
+func (r *Report) ApplyBaseline(base map[string]int) int {
+	remaining := make(map[string]int, len(base))
+	for k, n := range base {
+		remaining[k] = n
+	}
+	kept := r.Findings[:0]
+	suppressed := 0
+	for _, d := range r.Findings {
+		if remaining[d.baselineKey()] > 0 {
+			remaining[d.baselineKey()]--
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	r.Findings = kept
+	r.Count = len(kept)
+	return suppressed
+}
+
+// WriteBaseline writes the report's findings as a baseline file:
+// sorted, deduplicated only by exact line repetition (the multiset is
+// preserved as repeated lines), with a header documenting the format.
+func (r Report) WriteBaseline(w io.Writer) error {
+	lines := make([]string, len(r.Findings))
+	for i, d := range r.Findings {
+		lines[i] = d.baselineKey()
+	}
+	sort.Strings(lines)
+	header := "# cafe-lint baseline — accepted findings that do not fail the build.\n" +
+		"# One finding per line: file<TAB>pass<TAB>message. Line numbers are\n" +
+		"# omitted on purpose; they drift. Regenerate with:\n" +
+		"#   go run ./cmd/cafe-lint -baseline <this file> -write-baseline ./...\n"
+	if _, err := io.WriteString(w, header); err != nil {
+		return err
+	}
+	for _, line := range lines {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoPass enforces goroutine-leak discipline on the serving stack: a go
+// statement in non-test code must be tied to a completion mechanism
+// the spawning function (or its caller) can observe, or the server's
+// drain path has no way to know the goroutine is gone. A goroutine is
+// considered tracked when any of these hold:
+//
+//   - it counts down a sync.WaitGroup (wg.Done() anywhere in its body,
+//     typically deferred) — the batch workers and the parallel fine
+//     phase;
+//   - it receives from a Done() channel (<-ctx.Done(), directly or in
+//     a select), so cancellation reaches it — watchdog shapes;
+//   - it signals a channel the spawning function drains: the goroutine
+//     sends on or closes a locally declared channel, and the spawning
+//     function receives from or ranges over that same channel outside
+//     the go statement — the feeder/collector join in SearchBatch and
+//     the Serve error channel in cafe-serve.
+//
+// A go statement whose payload is a named function is resolved to that
+// function's declaration when it lives in this module, and the body is
+// checked the same way. Unresolvable payloads (function values,
+// out-of-module calls) are flagged: if the discipline is real it must
+// be visible, and a deliberate fire-and-forget takes a
+// //cafe:allow goroutine waiver stating who owns the lifetime.
+type GoPass struct {
+	declsOnce bool
+	decls     map[*types.Func]goDecl
+}
+
+// goDecl pairs a function declaration with the package whose type info
+// describes it.
+type goDecl struct {
+	fd  *ast.FuncDecl
+	pkg *Package
+}
+
+// Name implements Pass.
+func (p *GoPass) Name() string { return "goroutine" }
+
+// Run implements Pass.
+func (p *GoPass) Run(prog *Program, pkg *Package) []Finding {
+	if !p.declsOnce {
+		p.declsOnce = true
+		p.decls = map[*types.Func]goDecl{}
+		for _, other := range prog.Packages {
+			other.funcDecls(func(fd *ast.FuncDecl) {
+				if fn, ok := other.Info.Defs[fd.Name].(*types.Func); ok {
+					p.decls[fn] = goDecl{fd: fd, pkg: other}
+				}
+			})
+		}
+	}
+	var out []Finding
+	pkg.funcDecls(func(fd *ast.FuncDecl) {
+		p.checkBody(prog, pkg, fd.Body, &out)
+	})
+	return out
+}
+
+// checkBody scans one function body for go statements, treating body
+// as the spawning scope; nested function literals recurse with their
+// own scope.
+func (p *GoPass) checkBody(prog *Program, pkg *Package, body *ast.BlockStmt, out *[]Finding) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.checkBody(prog, pkg, n.Body, out)
+			return false
+		case *ast.GoStmt:
+			if !p.tracked(pkg, body, n) {
+				*out = append(*out, Finding{
+					Pos:      prog.Fset.Position(n.Pos()),
+					PassName: p.Name(),
+					Message:  "untracked goroutine: count it on a sync.WaitGroup, select on a Done() channel, or signal a channel this function drains",
+				})
+			}
+			// The payload and its arguments may spawn goroutines of
+			// their own; those are scoped to the payload.
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				p.checkBody(prog, pkg, fl.Body, out)
+			}
+			for _, arg := range n.Call.Args {
+				ast.Inspect(arg, walk)
+			}
+			return false
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// tracked reports whether the goroutine spawned by g satisfies one of
+// the pass's completion mechanisms within the spawning body enclosing.
+func (p *GoPass) tracked(pkg *Package, enclosing *ast.BlockStmt, g *ast.GoStmt) bool {
+	payload, payloadInfo := p.payloadBody(pkg, g.Call)
+	if payload == nil {
+		return false
+	}
+	if waitGroupCountdown(payloadInfo, payload) || receivesDone(payloadInfo, payload) {
+		return true
+	}
+	// Channel join only applies to literals: a named payload cannot
+	// close over the spawner's locals.
+	if _, isLit := g.Call.Fun.(*ast.FuncLit); isLit {
+		if signaled := signaledChannels(pkg.Info, payload); len(signaled) > 0 {
+			return drainsAny(pkg.Info, enclosing, g, signaled)
+		}
+	}
+	return false
+}
+
+// payloadBody resolves the code the goroutine will run: a function
+// literal's body, or the declaration of a named module function.
+func (p *GoPass) payloadBody(pkg *Package, call *ast.CallExpr) (*ast.BlockStmt, *types.Info) {
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		return fl.Body, pkg.Info
+	}
+	if fn := calleeFunc(pkg.Info, call); fn != nil {
+		if d, ok := p.decls[fn]; ok {
+			return d.fd.Body, d.pkg.Info
+		}
+	}
+	return nil, nil
+}
+
+// waitGroupCountdown reports whether body calls Done() (or Add with
+// any argument — Add(-1) is a countdown too) on a sync.WaitGroup.
+func waitGroupCountdown(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Done" && sel.Sel.Name != "Add") {
+			return true
+		}
+		if isWaitGroup(info.TypeOf(sel.X)) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroup reports whether t (possibly a pointer) is
+// sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// receivesDone reports whether body receives from some X.Done()
+// channel — the <-ctx.Done() shape, bare or as a select case.
+func receivesDone(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		un, ok := n.(*ast.UnaryExpr)
+		if !ok || un.Op != token.ARROW {
+			return true
+		}
+		call, ok := unparen(un.X).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return true
+		}
+		if _, isChan := info.TypeOf(call).Underlying().(*types.Chan); isChan {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// signaledChannels collects the channel variables body sends on or
+// closes.
+func signaledChannels(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	signaled := map[types.Object]bool{}
+	record := func(e ast.Expr) {
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		if _, isChan := obj.Type().Underlying().(*types.Chan); isChan {
+			signaled[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			record(n.Chan)
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) == 1 {
+					record(n.Args[0])
+				}
+			}
+		}
+		return true
+	})
+	return signaled
+}
+
+// drainsAny reports whether enclosing — outside the go statement g —
+// receives from or ranges over any of the signaled channels.
+func drainsAny(info *types.Info, enclosing *ast.BlockStmt, g *ast.GoStmt, signaled map[types.Object]bool) bool {
+	matches := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := info.ObjectOf(id)
+		return obj != nil && signaled[obj]
+	}
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if n == g {
+			return false // the goroutine draining itself proves nothing
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && matches(n.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if matches(n.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

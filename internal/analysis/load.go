@@ -34,11 +34,26 @@ type Package struct {
 	Pkg  *types.Package
 	Info *types.Info
 
-	// waived maps filename → line → true for //cafe:allow lines.
-	waived map[string]map[int]bool
+	// waived maps filename → line → waived pass scopes ("" = every
+	// pass) for //cafe:allow lines.
+	waived map[string]map[int]map[string]bool
 	// badDirectives are malformed cafe: directives, reported as findings.
 	badDirectives []Finding
 }
+
+// LoadError records one package of the module that failed to parse or
+// type-check. The rest of the module still loads and analyzes, but a
+// non-empty Failed list means the analysis is incomplete and the lint
+// driver must fail loudly rather than report a partial "clean".
+type LoadError struct {
+	// Path is the import path of the package that failed.
+	Path string
+	// Err is the parse or type-check failure.
+	Err error
+}
+
+// Error implements error.
+func (e LoadError) Error() string { return e.Err.Error() }
 
 // Program is a fully loaded module: every package, one shared FileSet,
 // and the module-wide directive facts the passes consult.
@@ -50,8 +65,11 @@ type Program struct {
 	// Fset positions every file of every package (and of the
 	// source-imported dependencies).
 	Fset *token.FileSet
-	// Packages is sorted by import path.
+	// Packages is sorted by import path and holds only the packages
+	// that type-checked; the rest are in Failed.
 	Packages []*Package
+	// Failed lists packages that did not load, sorted by import path.
+	Failed []LoadError
 
 	// hot records functions declared with a //cafe:hotpath directive.
 	hot map[*types.Func]bool
@@ -72,6 +90,7 @@ type loader struct {
 	module string
 	root   string
 	cache  map[string]*Package
+	failed map[string]error
 	busy   map[string]bool
 	src    types.ImporterFrom
 }
@@ -135,6 +154,7 @@ func Load(root, module string) (*Program, error) {
 		module: module,
 		root:   abs,
 		cache:  map[string]*Package{},
+		failed: map[string]error{},
 		busy:   map[string]bool{},
 		src:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
 	}
@@ -168,14 +188,19 @@ func Load(root, module string) (*Program, error) {
 		return nil, fmt.Errorf("analysis: walk: %w", err)
 	}
 	prog := &Program{Module: module, Root: abs, Fset: fset, hot: map[*types.Func]bool{}}
+	// A package that fails to load must not abort the others: every
+	// failure is recorded per package so the driver can name each one,
+	// and the packages that do type-check are still analyzed.
 	for _, p := range paths {
 		pkg, err := l.load(p)
 		if err != nil {
-			return nil, err
+			prog.Failed = append(prog.Failed, LoadError{Path: p, Err: err})
+			continue
 		}
 		prog.Packages = append(prog.Packages, pkg)
 	}
 	sort.Slice(prog.Packages, func(i, j int) bool { return prog.Packages[i].Path < prog.Packages[j].Path })
+	sort.Slice(prog.Failed, func(i, j int) bool { return prog.Failed[i].Path < prog.Failed[j].Path })
 	for _, pkg := range prog.Packages {
 		collectDirectives(prog, pkg)
 	}
@@ -203,17 +228,32 @@ func isSourceFile(name string) bool {
 		!strings.HasPrefix(name, "_")
 }
 
-// load parses and type-checks the package at import path, memoized.
+// load parses and type-checks the package at import path, memoizing
+// successes and failures alike (a broken package imported by several
+// others is checked — and reported — once).
 func (l *loader) load(path string) (*Package, error) {
 	if pkg, ok := l.cache[path]; ok {
 		return pkg, nil
+	}
+	if err, ok := l.failed[path]; ok {
+		return nil, err
 	}
 	if l.busy[path] {
 		return nil, fmt.Errorf("analysis: import cycle through %s", path)
 	}
 	l.busy[path] = true
 	defer delete(l.busy, path)
+	pkg, err := l.doLoad(path)
+	if err != nil {
+		l.failed[path] = err
+		return nil, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
 
+// doLoad is load without the memoization.
+func (l *loader) doLoad(path string) (*Package, error) {
 	dir := l.root
 	if path != l.module {
 		dir = filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module+"/")))
@@ -249,16 +289,14 @@ func (l *loader) load(path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-check %s: %w", path, err)
 	}
-	pkg := &Package{
+	return &Package{
 		Path:   path,
 		Dir:    dir,
 		Files:  files,
 		Pkg:    tpkg,
 		Info:   info,
-		waived: map[string]map[int]bool{},
-	}
-	l.cache[path] = pkg
-	return pkg, nil
+		waived: map[string]map[int]map[string]bool{},
+	}, nil
 }
 
 // Import implements types.Importer.

@@ -1,0 +1,7 @@
+// Package bad fails to type-check on purpose: the loader must record
+// a per-package error for it instead of silently skipping it or
+// aborting the whole module.
+package bad
+
+// Busted references an undefined identifier.
+func Busted() int { return undefinedIdent }

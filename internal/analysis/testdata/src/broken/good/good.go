@@ -1,0 +1,6 @@
+// Package good type-checks fine; it proves a broken sibling does not
+// stop the rest of the module from loading.
+package good
+
+// Fine is analyzable.
+func Fine() int { return 1 }

@@ -1,0 +1,74 @@
+// Package atomics seeds mixed atomic/plain field access for the
+// atomic pass: every field touched through sync/atomic anywhere must
+// be touched that way everywhere, so each plain load or store of such
+// a field is a violation, while all-atomic and all-plain structs pass
+// clean.
+package atomics
+
+import "sync/atomic"
+
+// Mixed has counters updated through sync/atomic functions in one
+// method and read or written plainly in others.
+type Mixed struct {
+	n     int64
+	ready uint32
+}
+
+func (m *Mixed) IncAtomic() { atomic.AddInt64(&m.n, 1) }
+
+func (m *Mixed) ReadPlain() int64 {
+	return m.n //violation:atomic
+}
+
+func (m *Mixed) ResetPlain() {
+	m.n = 0 //violation:atomic
+}
+
+func (m *Mixed) MarkReady() { atomic.StoreUint32(&m.ready, 1) }
+
+func (m *Mixed) Ready() bool {
+	return m.ready == 1 //violation:atomic
+}
+
+// Typed wraps its counter in atomic.Int64: method access is atomic, a
+// value copy is a plain load of the same word.
+type Typed struct {
+	c atomic.Int64
+}
+
+func (t *Typed) Inc() { t.c.Add(1) }
+
+func (t *Typed) Snapshot() int64 {
+	v := t.c //violation:atomic
+	return v.Load()
+}
+
+// Clean is all-atomic: no finding.
+type Clean struct {
+	n int64
+}
+
+func (c *Clean) Inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *Clean) Load() int64 { return atomic.LoadInt64(&c.n) }
+
+// PlainOnly never goes near sync/atomic: no finding.
+type PlainOnly struct {
+	n int64
+}
+
+func (p *PlainOnly) Bump() { p.n++ }
+
+func (p *PlainOnly) Value() int64 { return p.n }
+
+// MethodOnly uses atomic.Uint32 exclusively through methods: no
+// finding, and taking the field's address stays neutral.
+type MethodOnly struct {
+	flag atomic.Uint32
+}
+
+func (m *MethodOnly) Set() { m.flag.Store(1) }
+
+func (m *MethodOnly) Get() uint32 { return m.flag.Load() }
+
+func (m *MethodOnly) Ref() *atomic.Uint32 { return &m.flag }

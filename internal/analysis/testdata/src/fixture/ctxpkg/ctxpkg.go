@@ -1,0 +1,72 @@
+// Package ctxpkg seeds context-propagation violations for the ctx
+// pass: a context-aware function calling a context-free sibling, and
+// fresh context.Background()/TODO() roots inside a package configured
+// as forbidden, while the propagating shapes pass clean.
+package ctxpkg
+
+import "context"
+
+// DB pairs a context-free method with its context-aware sibling.
+type DB struct{}
+
+func (d *DB) Search(q string) int { return len(q) }
+
+func (d *DB) SearchContext(ctx context.Context, q string) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return len(q)
+}
+
+func Run(q string) int { return len(q) }
+
+func RunContext(ctx context.Context, q string) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return len(q)
+}
+
+// BadMethod receives a context but calls the context-free sibling,
+// severing the cancellation chain.
+func BadMethod(ctx context.Context, d *DB) int {
+	return d.Search("acgt") //violation:ctx
+}
+
+// BadFunc does the same through a package-level pair.
+func BadFunc(ctx context.Context) int {
+	return Run("acgt") //violation:ctx
+}
+
+// BadBackground manufactures a root context in a forbidden package.
+func BadBackground(d *DB) int {
+	return d.SearchContext(context.Background(), "acgt") //violation:ctx
+}
+
+// BadTODO is the same violation in TODO clothing.
+func BadTODO(d *DB) int {
+	return d.SearchContext(context.TODO(), "acgt") //violation:ctx
+}
+
+// GoodPropagates threads its context through: clean.
+func GoodPropagates(ctx context.Context, d *DB) int {
+	return d.SearchContext(ctx, "acgt")
+}
+
+// GoodNoCtx has no context to propagate, so the sibling rule does not
+// apply to it.
+func GoodNoCtx(d *DB) int {
+	return d.Search("acgt")
+}
+
+// GoodWaived documents why a fresh root is acceptable here.
+func GoodWaived(d *DB) int {
+	return d.SearchContext(context.Background(), "acgt") //cafe:allow ctx context-free wrapper; no deadline is the documented behaviour
+}
+
+// GoodNoSibling calls a function with no Context counterpart: clean.
+func GoodNoSibling(ctx context.Context) int {
+	return helper("acgt")
+}
+
+func helper(q string) int { return len(q) }

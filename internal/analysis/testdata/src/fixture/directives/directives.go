@@ -14,3 +14,25 @@ func reasonless() {
 	//cafe:allow
 	_ = 0
 }
+
+// WaivedScoped names the pass it waives; other passes still see the
+// line.
+//
+//cafe:hotpath
+func WaivedScoped(xs []int) []int {
+	xs = append(xs, 3) //cafe:allow hotpath amortised scratch, reset by the caller
+	return xs
+}
+
+// WrongScope waives a different pass, so hotpath still fires.
+//
+//cafe:hotpath
+func WrongScope(xs []int) []int {
+	xs = append(xs, 4) //cafe:allow ctx scope names another pass, so hotpath still fires
+	return xs
+}
+
+func scopedReasonless() {
+	//cafe:allow goroutine
+	_ = 0
+}

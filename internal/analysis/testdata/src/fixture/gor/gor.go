@@ -1,0 +1,105 @@
+// Package gor seeds goroutine-leak violations for the goroutine pass:
+// fire-and-forget go statements are flagged, while WaitGroup-counted,
+// Done()-cancellable, and channel-joined goroutines pass clean.
+package gor
+
+import (
+	"context"
+	"sync"
+)
+
+// BadFire launches a goroutine nothing can observe.
+func BadFire() {
+	go func() { //violation:goroutine
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+}
+
+func work() {}
+
+// BadNamed launches a named function with no tracking in its body.
+func BadNamed() {
+	go work() //violation:goroutine
+}
+
+// BadSendNobodyDrains signals a channel the spawner never reads.
+func BadSendNobodyDrains() chan int {
+	out := make(chan int, 1)
+	go func() { out <- 1 }() //violation:goroutine
+	return out
+}
+
+// GoodWaitGroup counts the goroutine on a WaitGroup.
+func GoodWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// GoodDone selects on the context's Done channel, so cancellation
+// reaches the goroutine.
+func GoodDone(ctx context.Context, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case tick <- 1:
+			}
+		}
+	}()
+}
+
+// GoodJoin sends on a channel the spawner receives from.
+func GoodJoin() int {
+	out := make(chan int)
+	go func() { out <- 1 }()
+	return <-out
+}
+
+// GoodClose closes a channel the spawner ranges over — the
+// feeder/collector join shape.
+func GoodClose() int {
+	out := make(chan int, 4)
+	go func() {
+		out <- 1
+		out <- 2
+		close(out)
+	}()
+	sum := 0
+	for v := range out {
+		sum += v
+	}
+	return sum
+}
+
+// tracked is a named payload that counts down a WaitGroup.
+func tracked(wg *sync.WaitGroup) { wg.Done() }
+
+// GoodNamedTracked resolves the named payload's declaration.
+func GoodNamedTracked() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go tracked(&wg)
+	wg.Wait()
+}
+
+// GoodNested spawns from inside a literal: the inner goroutine's
+// spawning scope is the literal, which drains it.
+func GoodNested() func() int {
+	return func() int {
+		out := make(chan int)
+		go func() { out <- 2 }()
+		return <-out
+	}
+}
+
+// GoodWaived documents a deliberate fire-and-forget.
+func GoodWaived() {
+	go func() {}() //cafe:allow goroutine demo daemon; lifetime owned by the process
+}

@@ -240,7 +240,7 @@ type Candidate struct {
 // reverse complement of the query is evaluated too and each sequence
 // reports its best strand.
 func (s *Searcher) Search(query []byte, opts Options) ([]Result, error) {
-	return s.SearchWithStatsContext(context.Background(), query, opts, nil)
+	return s.SearchWithStatsContext(context.Background(), query, opts, nil) //cafe:allow ctx context-free wrapper; running without a deadline is Search's documented behaviour
 }
 
 // SearchContext is Search with cooperative cancellation: the evaluation
@@ -260,7 +260,7 @@ func (s *Searcher) SearchContext(ctx context.Context, query []byte, opts Options
 // results: the stats-enabled search returns exactly what Search
 // returns, a property the core tests lock in.
 func (s *Searcher) SearchWithStats(query []byte, opts Options, st *SearchStats) ([]Result, error) {
-	return s.SearchWithStatsContext(context.Background(), query, opts, st)
+	return s.SearchWithStatsContext(context.Background(), query, opts, st) //cafe:allow ctx context-free wrapper; running without a deadline is SearchWithStats's documented behaviour
 }
 
 // SearchWithStatsContext is SearchContext with the stats collection of
@@ -553,7 +553,7 @@ const prescreenXDrop = 30
 // Exposed for the recall experiments, which sweep the candidate budget
 // over a single coarse ranking.
 func (s *Searcher) Coarse(query []byte, mode CoarseMode, minHits int) ([]Candidate, error) {
-	return s.coarse(context.Background(), query, mode, minHits, nil)
+	return s.coarse(context.Background(), query, mode, minHits, nil) //cafe:allow ctx context-free wrapper; the recall experiments drive Coarse without a request context
 }
 
 // coarse implements Coarse, accumulating work counters into st when

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"nucleodb"
+	"nucleodb/internal/dna"
+)
+
+// The hammer tests exist to fail under -race: they drive the result
+// cache and the searcher pool through their concurrent fast paths with
+// constant eviction and index swaps, the two regimes where a missed
+// lock or a torn pointer would actually bite in production.
+
+// TestResultCacheHammer pounds a tiny cache (capacity far below the
+// key space, so every put evicts) with concurrent gets, puts, and
+// stats reads. Each body encodes its key, so a hit that returns
+// another key's bytes — the signature of list/map corruption — is
+// caught even when the race detector is off.
+func TestResultCacheHammer(t *testing.T) {
+	const (
+		capacity = 8
+		keySpace = 64
+		workers  = 8
+		opsEach  = 2000
+	)
+	c := newResultCache(capacity)
+	var gets, hits atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsEach; i++ {
+				key := fmt.Sprintf("key-%d", rng.Intn(keySpace))
+				switch rng.Intn(4) {
+				case 0:
+					c.put(key, []byte("body:"+key))
+				case 1:
+					_ = c.Len()
+					_ = c.stats()
+				default:
+					gets.Add(1)
+					if body, ok := c.get(key); ok {
+						hits.Add(1)
+						if string(body) != "body:"+key {
+							t.Errorf("cache returned %q for %q", body, key)
+						}
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+
+	if n := c.Len(); n > capacity {
+		t.Errorf("cache holds %d entries, capacity %d", n, capacity)
+	}
+	st := c.stats()
+	if st.Hits+st.Misses != gets.Load() {
+		t.Errorf("hits %d + misses %d != gets %d", st.Hits, st.Misses, gets.Load())
+	}
+	if st.Hits != hits.Load() {
+		t.Errorf("stats hits %d, observed %d", st.Hits, hits.Load())
+	}
+	// The cache saw real contention for the eviction path, not a
+	// degenerate all-miss run.
+	if st.Hits == 0 {
+		t.Error("hammer produced no hits; key space or op mix is broken")
+	}
+}
+
+// TestServerHammerAcrossAppends drives the full service path — worker
+// pool, searcher pool, result cache — through waves of concurrent
+// searches separated by Appends. Each wave quiesces before its Append
+// (the documented contract: Append must not run concurrently with
+// Search), but direct get/put traffic on the server's result cache
+// keeps hammering straight through the index swap, since the cache
+// never touches the index. After every swap the next wave's fresh
+// queries must still answer 200 with results, proving stale pooled
+// searchers are dropped, not reused.
+func TestServerHammerAcrossAppends(t *testing.T) {
+	db := testDB(t)
+	s := newTestServer(t, db, func(cfg *Config) {
+		cfg.Workers = 8
+		cfg.QueueDepth = 64
+		cfg.CacheSize = 4 // force eviction under the wave load
+	})
+	h := s.Handler()
+
+	// Cache-only traffic runs for the whole test including during
+	// Appends: gets and puts over a key space wider than the capacity,
+	// so evictions overlap the index swap. This must not go through
+	// the handler — a miss there would start a real search
+	// concurrently with Append, which the contract forbids.
+	stop := make(chan struct{})
+	var cacheWG sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		cacheWG.Add(1)
+		go func(seed int64) {
+			defer cacheWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("bg-%d", rng.Intn(16))
+				if rng.Intn(2) == 0 {
+					s.cache.put(key, []byte("body:"+key))
+				} else if body, ok := s.cache.get(key); ok && string(body) != "body:"+key {
+					t.Errorf("cache returned %q for %q", body, key)
+					return
+				}
+			}
+		}(int64(w))
+	}
+
+	const waves = 3
+	for wave := 0; wave < waves; wave++ {
+		queries := testQueries(db, 16, int64(100+wave))
+		var waveWG sync.WaitGroup
+		for i, q := range queries {
+			waveWG.Add(1)
+			go func(i int, q string) {
+				defer waveWG.Done()
+				// nocache on half the queries keeps the searcher pool
+				// itself under load instead of the cache absorbing it.
+				path := "/search?q=" + q
+				if i%2 == 0 {
+					path += "&nocache=1"
+				}
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("wave %d: status %d: %s", wave, rec.Code, rec.Body.String())
+					return
+				}
+				if !strings.Contains(rec.Body.String(), `"results"`) {
+					t.Errorf("wave %d: response lacks results: %s", wave, rec.Body.String())
+				}
+			}(i, q)
+		}
+		waveWG.Wait() // quiesce: no search may overlap the Append below
+
+		rng := rand.New(rand.NewSource(int64(wave)))
+		recs := make([]nucleodb.Record, 4)
+		for i := range recs {
+			codes := make([]byte, 200)
+			for j := range codes {
+				codes[j] = byte(rng.Intn(4))
+			}
+			recs[i] = nucleodb.Record{
+				Desc:     fmt.Sprintf("appended-%d-%d", wave, i),
+				Sequence: dna.String(codes),
+			}
+		}
+		if err := db.Append(recs); err != nil {
+			t.Fatalf("wave %d: append: %v", wave, err)
+		}
+	}
+
+	// A record appended in the last wave must be findable, proving the
+	// post-swap searchers see the merged index.
+	final := db.Sequence(db.NumSequences() - 1)
+	req := httptest.NewRequest(http.MethodGet, "/search?q="+final[:100]+"&nocache=1", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("appended-record query: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "appended-") {
+		t.Errorf("appended record not found after index swaps: %s", rec.Body.String())
+	}
+
+	close(stop)
+	cacheWG.Wait()
+
+	if st := s.CacheStats(); st.Entries > 4 {
+		t.Errorf("cache grew past its capacity: %d entries", st.Entries)
+	}
+}
