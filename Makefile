@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench check lint lint-baseline lint-sarif fuzz-smoke serve-smoke examples experiments fmt vet clean
+.PHONY: all build test test-race cover bench bench-json check lint lint-baseline lint-sarif fuzz-smoke serve-smoke examples experiments fmt vet clean
 
 all: build test
 
@@ -20,6 +20,12 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Serial-vs-sharded coarse trajectory, committed as BENCH_coarse.json.
+# The run doubles as an equivalence smoke: cafe-bench -coarse exits
+# nonzero if any sharded run's results differ from the serial run's.
+bench-json:
+	$(GO) run ./cmd/cafe-bench -coarse > BENCH_coarse.json
 
 # The full pre-commit gate: static checks (vet plus the repo's own
 # cafe-lint pass suite), the race-enabled test suite, a build of every

@@ -87,6 +87,12 @@ type server struct {
 	base   string
 	cmd    *exec.Cmd
 	stderr *bytes.Buffer
+	// scanDone closes when the stderr scanner goroutine has consumed the
+	// pipe to EOF. drain must wait on it before calling cmd.Wait: Wait
+	// closes the pipe (os/exec contract — all reads must complete
+	// first), so waiting both prevents losing buffered output and
+	// orders the final writes to stderr before drain reads it.
+	scanDone chan struct{}
 }
 
 // startServer launches cafe-serve on a random port and waits for the
@@ -102,9 +108,10 @@ func startServer(t *testing.T, bin, dbDir string, extra ...string) *server {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	s := &server{cmd: cmd, stderr: &bytes.Buffer{}}
+	s := &server{cmd: cmd, stderr: &bytes.Buffer{}, scanDone: make(chan struct{})}
 	addrc := make(chan string, 1)
 	go func() {
+		defer close(s.scanDone)
 		sc := bufio.NewScanner(pipe)
 		for sc.Scan() {
 			line := sc.Text()
@@ -133,11 +140,20 @@ func startServer(t *testing.T, bin, dbDir string, extra ...string) *server {
 	return s
 }
 
-// drain sends SIGTERM and waits for a clean exit.
+// drain sends SIGTERM and waits for a clean exit. The stderr pipe is
+// read to EOF before cmd.Wait runs: Wait would close the pipe under
+// the scanner and drop its buffered tail, which intermittently lost
+// the "drained" line this function asserts on.
 func (s *server) drain(t *testing.T) {
 	t.Helper()
 	if err := s.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
+	}
+	select {
+	case <-s.scanDone:
+	case <-time.After(30 * time.Second):
+		s.cmd.Process.Kill()
+		t.Fatalf("cafe-serve did not drain within 30s:\n%s", s.stderr.String())
 	}
 	done := make(chan error, 1)
 	go func() { done <- s.cmd.Wait() }()
@@ -148,7 +164,7 @@ func (s *server) drain(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		s.cmd.Process.Kill()
-		t.Fatalf("cafe-serve did not drain within 30s:\n%s", s.stderr.String())
+		t.Fatalf("cafe-serve did not exit within 30s of closing stderr:\n%s", s.stderr.String())
 	}
 	if !strings.Contains(s.stderr.String(), "drained") {
 		t.Fatalf("cafe-serve exited without draining:\n%s", s.stderr.String())

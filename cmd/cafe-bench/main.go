@@ -10,6 +10,7 @@
 //	cafe-bench -run E3,E4      # selected experiments
 //	cafe-bench -seed 7 -queries 50
 //	cafe-bench -json           # per-stage work/latency breakdown as JSON
+//	cafe-bench -coarse         # serial vs sharded coarse trajectory as JSON
 package main
 
 import (
@@ -36,6 +37,7 @@ func main() {
 		bases   = flag.Int("bases", 0, "override base collection size in bases")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		asJSON  = flag.Bool("json", false, "run the standard workload instrumented and print the per-stage breakdown as JSON instead of the tables")
+		coarse  = flag.Bool("coarse", false, "benchmark serial vs sharded coarse search and print the trajectory as JSON (exits nonzero if sharded results ever differ from serial)")
 	)
 	flag.Parse()
 
@@ -55,6 +57,24 @@ func main() {
 	}
 	if *bases > 0 {
 		cfg.BaseBases = *bases
+	}
+
+	if *coarse {
+		rep, err := experiments.CoarseBench(cfg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		// The benchmark doubles as the equivalence smoke in CI: sharded
+		// coarse search is contractually byte-identical to serial.
+		if !rep.CandidatesIdentical {
+			log.Fatal("sharded coarse results differ from serial — equivalence contract broken")
+		}
+		return
 	}
 
 	if *asJSON {

@@ -44,6 +44,7 @@ func main() {
 		cacheSize  = flag.Int("cache", defaults.CacheSize, "result cache capacity in entries (0 disables)")
 		candidates = flag.Int("candidates", defaults.Options.Candidates, "default coarse-phase candidate budget")
 		limit      = flag.Int("limit", defaults.Options.Limit, "default answers per query")
+		coarseW    = flag.Int("coarse-workers", defaults.Options.CoarseWorkers, "shard each search's coarse posting-list walk across this many workers (0 = serial; results are identical — visible as coarse_shards_total in /metrics)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown grace period")
 	)
 	flag.Parse()
@@ -70,6 +71,7 @@ func main() {
 	cfg.CacheSize = *cacheSize
 	cfg.Options.Candidates = *candidates
 	cfg.Options.Limit = *limit
+	cfg.Options.CoarseWorkers = *coarseW
 	srv, err := server.New(db, cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -122,6 +122,13 @@ type Options struct {
 	// reducing single-query latency on multicore machines. 0 or 1 is
 	// serial. Results are identical at any setting.
 	FineWorkers int
+	// CoarseWorkers partitions the query's posting lists across this
+	// many workers in the coarse phase. Each worker accumulates into a
+	// private per-shard accumulator (and diagonal accumulator under
+	// CoarseDiagonal); the shards are merged deterministically, so
+	// results are byte-identical to the serial path at any setting. 0
+	// or 1 is serial.
+	CoarseWorkers int
 }
 
 // DefaultOptions returns the configuration of the headline experiments.
@@ -162,6 +169,9 @@ func (o Options) validate() error {
 	if o.FineWorkers < 0 {
 		return fmt.Errorf("core: negative FineWorkers %d", o.FineWorkers)
 	}
+	if o.CoarseWorkers < 0 {
+		return fmt.Errorf("core: negative CoarseWorkers %d", o.CoarseWorkers)
+	}
 	return nil
 }
 
@@ -199,6 +209,102 @@ type Searcher struct {
 	acc     accumulators
 	it      postings.Iterator
 	termSet map[kmer.Term][]int
+
+	// Sharded-coarse scratch: per-worker accumulators and the term
+	// work list, grown to the high-water worker count and reused so
+	// steady-state sharded coarse allocates nothing.
+	shards   []*coarseShard
+	termJobs []termJob
+
+	// candBuf backs the bounded top-k candidate selection; it holds at
+	// most Candidates entries and is reused across queries (the fine
+	// phase finishes with it before the next coarse call).
+	candBuf []Candidate
+
+	// seedScratch holds one bestSeed scratch per fine worker, grown to
+	// the high-water FineWorkers and reused across candidates.
+	seedScratch []*seedScratch
+}
+
+// termJob is one unit of coarse work: a query term and the query
+// offsets it occurs at (offsets drive the diagonal accumulator).
+type termJob struct {
+	t    kmer.Term
+	qPos []int
+}
+
+// coarseShard is one worker's private coarse state: accumulators, a
+// postings iterator, an optional diagonal accumulator, and the shard's
+// share of the postings counters (summed into SearchStats after the
+// join, so the totals equal the serial values exactly).
+type coarseShard struct {
+	acc  accumulators
+	it   postings.Iterator
+	diag *diagAcc
+
+	lists   int
+	decoded int64
+	bytes   int64
+	err     error
+}
+
+// reset prepares the shard for one query, creating or clearing the
+// diagonal accumulator as the mode requires.
+func (sh *coarseShard) reset(diagonal bool) {
+	sh.acc.reset()
+	sh.lists, sh.decoded, sh.bytes, sh.err = 0, 0, 0, nil
+	switch {
+	case !diagonal:
+		sh.diag = nil
+	case sh.diag == nil:
+		sh.diag = newDiagAcc(true)
+	default:
+		clear(sh.diag.counts)
+	}
+}
+
+// accumulate folds one term's posting list into the shard.
+func (sh *coarseShard) accumulate(idx *index.Index, job termJob) {
+	df, listBytes := idx.ReaderStats(job.t, &sh.it)
+	if df == 0 {
+		return
+	}
+	sh.lists++
+	sh.bytes += int64(listBytes)
+	for sh.it.Next() {
+		e := sh.it.Entry()
+		sh.acc.bump(int(e.ID), 1, int(e.Count))
+		if sh.diag != nil {
+			for _, qp := range job.qPos {
+				for _, off := range e.Offsets {
+					sh.diag.add(e.ID, int(off)-qp)
+				}
+			}
+		}
+	}
+	if err := sh.it.Err(); err != nil {
+		sh.err = fmt.Errorf("core: term %d postings: %w", job.t, err)
+		return
+	}
+	sh.decoded += int64(sh.it.Decoded())
+}
+
+// coarseShards returns n pooled shards, growing the pool on first use
+// at each high-water mark.
+func (s *Searcher) coarseShards(n int) []*coarseShard {
+	for len(s.shards) < n {
+		s.shards = append(s.shards, &coarseShard{acc: newAccumulators(s.idx.NumSeqs())})
+	}
+	return s.shards[:n]
+}
+
+// fineScratch returns n pooled bestSeed scratches, one per fine
+// worker, growing the pool at each high-water mark.
+func (s *Searcher) fineScratch(n int) []*seedScratch {
+	for len(s.seedScratch) < n {
+		s.seedScratch = append(s.seedScratch, newSeedScratch())
+	}
+	return s.seedScratch[:n]
 }
 
 // NewSearcher returns a searcher over idx and src. src must be the
@@ -301,9 +407,18 @@ func (s *Searcher) SearchWithStatsContext(ctx context.Context, query []byte, opt
 	for i := range reverse {
 		reverse[i].Reverse = true
 	}
-	// Merge: keep each sequence's best strand.
+	// Merge: keep each sequence's best strand. Iterate the two slices
+	// separately — append(forward, reverse...) would copy reverse into
+	// forward's spare backing capacity when cap(forward) allows, and
+	// the sharded coarse path reuses result backing across strands, so
+	// that aliasing would let one strand's merge scribble on the other.
 	best := make(map[int]Result, len(forward)+len(reverse))
-	for _, r := range append(forward, reverse...) {
+	for _, r := range forward {
+		if cur, ok := best[r.ID]; !ok || r.Score > cur.Score {
+			best[r.ID] = r
+		}
+	}
+	for _, r := range reverse {
 		if cur, ok := best[r.ID]; !ok || r.Score > cur.Score {
 			best[r.ID] = r
 		}
@@ -351,14 +466,26 @@ func (s *Searcher) finishTracebacks(ctx context.Context, query, rcQuery []byte, 
 		}
 		subject := s.src.Sequence(r.ID)
 		al := align.BandedLocal(q, subject, r.bandCentre, opts.Band, s.scoring)
-		if al.Score == r.Score {
-			r.Alignment = al
-		}
-		r.needsTraceback = false
 		if st != nil {
 			st.TracebackAlignments++
 			st.TracebackDPCells += align.BandedCells(len(q), len(subject), r.bandCentre, opts.Band)
 		}
+		if al.Score == r.Score {
+			r.Alignment = al
+		} else {
+			// The banded traceback could not reproduce the score-only
+			// ranking pass. Rather than silently reporting the
+			// degenerate end-coordinate stub with no transcript, fall
+			// back to a full Smith–Waterman traceback; the ranking
+			// score stands (the list is already ordered by it), but
+			// spans, identity and the transcript come from the real
+			// optimal alignment.
+			r.Alignment = align.Local(q, subject, s.scoring)
+			if st != nil {
+				st.TracebackDPCells += align.LocalCells(len(q), len(subject))
+			}
+		}
+		r.needsTraceback = false
 	}
 	if st != nil {
 		st.TracebackTime += time.Since(t0)
@@ -390,12 +517,9 @@ func (s *Searcher) searchStrand(ctx context.Context, query []byte, opts Options,
 	if collect {
 		t0 = time.Now()
 	}
-	cands, err := s.coarse(ctx, query, opts.CoarseMode, opts.MinCoarseHits, st)
+	cands, err := s.coarse(ctx, query, opts.CoarseMode, opts.MinCoarseHits, opts.CoarseWorkers, opts.Candidates, st)
 	if err != nil {
 		return nil, err
-	}
-	if len(cands) > opts.Candidates {
-		cands = cands[:opts.Candidates]
 	}
 	if collect {
 		st.CoarseTime += time.Since(t0)
@@ -403,10 +527,13 @@ func (s *Searcher) searchStrand(ctx context.Context, query []byte, opts Options,
 		t0 = time.Now()
 	}
 	// fine evaluates one candidate; it reads only immutable searcher
-	// state (termSet is not mutated during the fine phase), so it is
-	// safe to run concurrently. Its stats contribution returns by
-	// value (fineWork), so the parallel path needs no shared state.
-	fine := func(c Candidate) (Result, bool, fineWork) {
+	// state (termSet is not mutated during the fine phase) plus the
+	// caller-owned scratch, so it is safe to run concurrently as long
+	// as each worker passes its own scratch. Its stats contribution
+	// returns by value (fineWork), so the parallel path needs no
+	// shared state.
+	coder := s.idx.Coder()
+	fine := func(c Candidate, sc *seedScratch) (Result, bool, fineWork) {
 		var fw fineWork
 		seq := s.src.Sequence(c.ID)
 		var r Result
@@ -416,7 +543,7 @@ func (s *Searcher) searchStrand(ctx context.Context, query []byte, opts Options,
 		var seed seedHit
 		haveSeed := false
 		if opts.Prescreen > 0 || opts.FineMode == FineBanded && !c.HasOff {
-			seed, haveSeed = s.bestSeed(query, seq)
+			seed, haveSeed = s.bestSeed(coder, seq, sc)
 		}
 		if opts.Prescreen > 0 {
 			var p0 time.Time
@@ -470,6 +597,7 @@ func (s *Searcher) searchStrand(ctx context.Context, query []byte, opts Options,
 
 	results := make([]Result, 0, len(cands))
 	if opts.FineWorkers <= 1 || len(cands) < 2 {
+		sc := s.fineScratch(1)[0]
 		for _, c := range cands {
 			if err := ctx.Err(); err != nil {
 				if collect {
@@ -477,7 +605,7 @@ func (s *Searcher) searchStrand(ctx context.Context, query []byte, opts Options,
 				}
 				return nil, err
 			}
-			r, ok, fw := fine(c)
+			r, ok, fw := fine(c, sc)
 			if collect {
 				st.addFine(fw)
 			}
@@ -507,21 +635,22 @@ func (s *Searcher) searchStrand(ctx context.Context, query []byte, opts Options,
 	if workers > len(cands) {
 		workers = len(cands)
 	}
+	scratches := s.fineScratch(workers)
 	var wg sync.WaitGroup
 	next := int64(-1)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(sc *seedScratch) {
 			defer wg.Done()
 			for ctx.Err() == nil {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(cands) {
 					return
 				}
-				r, ok, fw := fine(cands[i])
+				r, ok, fw := fine(cands[i], sc)
 				slots[i] = slot{r, ok, fw}
 			}
-		}()
+		}(scratches[w])
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
@@ -551,16 +680,24 @@ const prescreenXDrop = 30
 // Coarse runs only the coarse phase, returning every sequence with at
 // least minHits distinct query intervals, ranked best-first under mode.
 // Exposed for the recall experiments, which sweep the candidate budget
-// over a single coarse ranking.
+// over a single coarse ranking — so unlike Search's internal coarse
+// call it keeps the full sort over every touched sequence instead of
+// the bounded top-k selection.
 func (s *Searcher) Coarse(query []byte, mode CoarseMode, minHits int) ([]Candidate, error) {
-	return s.coarse(context.Background(), query, mode, minHits, nil) //cafe:allow ctx context-free wrapper; the recall experiments drive Coarse without a request context
+	return s.coarse(context.Background(), query, mode, minHits, 1, 0, nil) //cafe:allow ctx context-free wrapper; the recall experiments drive Coarse without a request context
 }
 
-// coarse implements Coarse, accumulating work counters into st when
-// non-nil (stage timing is the caller's job — searchStrand wraps this
-// call in the coarse wall clock). Cancellation is checked once per
-// posting list, so the per-entry accumulator loop stays hot.
-func (s *Searcher) coarse(ctx context.Context, query []byte, mode CoarseMode, minHits int, st *SearchStats) ([]Candidate, error) {
+// coarse implements the coarse phase: accumulate the query's posting
+// lists (serially, or sharded across workers when workers > 1), then
+// select candidates. topK > 0 selects the best topK with a bounded
+// heap — O(touched·log k) instead of the full sort's O(n·log n) — and
+// reuses the searcher's candidate buffer; topK ≤ 0 full-sorts every
+// qualifying sequence into a fresh slice (the Coarse recall API).
+// Work counters accumulate into st when non-nil (stage timing is the
+// caller's job — searchStrand wraps this call in the coarse wall
+// clock). Cancellation is checked once per posting list, so the
+// per-entry accumulator loop stays hot.
+func (s *Searcher) coarse(ctx context.Context, query []byte, mode CoarseMode, minHits, workers, topK int, st *SearchStats) ([]Candidate, error) {
 	if minHits < 1 {
 		minHits = 1
 	}
@@ -581,6 +718,80 @@ func (s *Searcher) coarse(ctx context.Context, query []byte, mode CoarseMode, mi
 	if st != nil {
 		st.QueryTerms += len(s.termSet)
 	}
+	if workers > len(s.termSet) {
+		workers = len(s.termSet)
+	}
+	var diag *diagAcc
+	var err error
+	if workers > 1 {
+		diag, err = s.accumulateSharded(ctx, mode, workers, st)
+	} else {
+		diag, err = s.accumulateSerial(ctx, mode, st)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if st != nil {
+		st.CoarseSequences += len(s.acc.touched)
+	}
+
+	var diagBest map[uint32]diagResult
+	if diag != nil {
+		diagBest = diag.finalize()
+	}
+	score := func(id, hits int) Candidate {
+		c := Candidate{ID: id, Hits: hits}
+		switch mode {
+		case CoarseDistinct:
+			c.Score = float64(hits)
+		case CoarseTotal:
+			c.Score = float64(s.acc.total[id])
+		case CoarseNormalised:
+			c.Score = float64(hits) / math.Log2(float64(s.idx.SeqLen(id))+16)
+		case CoarseDiagonal:
+			r := diagBest[uint32(id)]
+			c.Score = float64(r.score)
+			c.Diag = r.diag
+			c.HasOff = true
+		}
+		return c
+	}
+
+	if topK > 0 {
+		// Bounded selection: only the candidate budget survives, and
+		// the ordering is total (score desc, ID asc — IDs are unique),
+		// so the heap's output is exactly the full sort's prefix.
+		sel := topKHeap{k: topK, heap: s.candBuf[:0]}
+		for _, id := range s.acc.touched {
+			hits := int(s.acc.distinct[id])
+			if hits < minHits {
+				continue
+			}
+			sel.push(score(id, hits))
+		}
+		// The sorted selection aliases the pooled buffer; it is consumed
+		// entirely within this query's fine phase, before the buffer's
+		// next reuse.
+		out := sel.sorted()
+		s.candBuf = out[:0]
+		return out, nil
+	}
+
+	cands := make([]Candidate, 0, len(s.acc.touched))
+	for _, id := range s.acc.touched {
+		hits := int(s.acc.distinct[id])
+		if hits < minHits {
+			continue
+		}
+		cands = append(cands, score(id, hits))
+	}
+	sort.Slice(cands, func(i, j int) bool { return candBetter(cands[i], cands[j]) })
+	return cands, nil
+}
+
+// accumulateSerial walks every posting list into the searcher's
+// accumulator on the calling goroutine — the workers ≤ 1 path.
+func (s *Searcher) accumulateSerial(ctx context.Context, mode CoarseMode, st *SearchStats) (*diagAcc, error) {
 	s.acc.reset()
 	diag := newDiagAcc(mode == CoarseDiagonal)
 	for t, qPositions := range s.termSet {
@@ -614,42 +825,79 @@ func (s *Searcher) coarse(ctx context.Context, query []byte, mode CoarseMode, mi
 		}
 	}
 	if st != nil {
-		st.CoarseSequences += len(s.acc.touched)
+		st.CoarseShards++
+	}
+	return diag, nil
+}
+
+// accumulateSharded partitions the query's posting lists across
+// workers, each folding its share into a private per-shard accumulator
+// (and diagonal accumulator under CoarseDiagonal), then merges the
+// shards into the searcher's accumulator. Interval counts are sums, so
+// the merged totals are identical to the serial walk no matter how the
+// lists were partitioned — which is what makes the sharded coarse
+// byte-identical to the serial one. Workers check ctx before claiming
+// each list; on cancellation nothing merges and ctx.Err() is returned.
+func (s *Searcher) accumulateSharded(ctx context.Context, mode CoarseMode, workers int, st *SearchStats) (*diagAcc, error) {
+	jobs := s.termJobs[:0]
+	for t, qPositions := range s.termSet {
+		jobs = append(jobs, termJob{t: t, qPos: qPositions})
+	}
+	s.termJobs = jobs[:0]
+
+	diagonal := mode == CoarseDiagonal
+	shards := s.coarseShards(workers)
+	var wg sync.WaitGroup
+	next := int64(-1)
+	for w := 0; w < workers; w++ {
+		sh := shards[w]
+		sh.reset(diagonal)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil && sh.err == nil {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(jobs) {
+					return
+				}
+				sh.accumulate(s.idx, jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, sh := range shards {
+		if sh.err != nil {
+			return nil, sh.err
+		}
 	}
 
-	var diagBest map[uint32]diagResult
-	if diag != nil {
-		diagBest = diag.finalize()
+	// Deterministic merge: per-sequence counters are order-independent
+	// sums, and the diagonal buckets merge by key, so any partition of
+	// the lists produces the same merged state.
+	s.acc.reset()
+	diag := newDiagAcc(diagonal)
+	for _, sh := range shards {
+		for _, id := range sh.acc.touched {
+			s.acc.bump(id, int(sh.acc.distinct[id]), int(sh.acc.total[id]))
+		}
+		if diag != nil {
+			for key, n := range sh.diag.counts {
+				diag.counts[key] += n
+			}
+		}
+		if st != nil {
+			st.PostingLists += sh.lists
+			st.PostingsDecoded += sh.decoded
+			st.PostingsBytesRead += sh.bytes
+		}
 	}
-	cands := make([]Candidate, 0, len(s.acc.touched))
-	for _, id := range s.acc.touched {
-		hits := int(s.acc.distinct[id])
-		if hits < minHits {
-			continue
-		}
-		c := Candidate{ID: id, Hits: hits}
-		switch mode {
-		case CoarseDistinct:
-			c.Score = float64(hits)
-		case CoarseTotal:
-			c.Score = float64(s.acc.total[id])
-		case CoarseNormalised:
-			c.Score = float64(hits) / math.Log2(float64(s.idx.SeqLen(id))+16)
-		case CoarseDiagonal:
-			r := diagBest[uint32(id)]
-			c.Score = float64(r.score)
-			c.Diag = r.diag
-			c.HasOff = true
-		}
-		cands = append(cands, c)
+	if st != nil {
+		st.CoarseShards += workers
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].Score != cands[j].Score {
-			return cands[i].Score > cands[j].Score
-		}
-		return cands[i].ID < cands[j].ID
-	})
-	return cands, nil
+	return diag, nil
 }
 
 // seedHit is one shared interval on a candidate's strongest diagonal.
@@ -657,26 +905,54 @@ type seedHit struct {
 	diag, qPos, sPos int
 }
 
-// bestSeed finds the strongest alignment diagonal of query against seq
-// by binning shared intervals, and returns a shared interval on it —
-// the anchor for banded centring and for the prescreen extension. It
-// reports false when the sequences share no interval (possible when a
-// stopped term admitted the candidate via another strand or mode).
-func (s *Searcher) bestSeed(query, seq []byte) (seedHit, bool) {
-	coder := s.idx.Coder()
-	counts := map[int]int{}
-	firstHit := map[int][2]int{}
-	coder.ExtractFunc(seq, func(sPos int, t kmer.Term) {
-		for _, qp := range s.termSet[t] {
+// seedScratch is the reusable state of one bestSeed evaluation: the
+// per-diagonal hit counters, the first shared interval seen on each
+// diagonal, and a pre-bound extraction callback so the fine hot path
+// allocates no closure per candidate. One scratch belongs to exactly
+// one fine worker at a time (see Searcher.fineScratch).
+type seedScratch struct {
+	counts   map[int]int
+	firstHit map[int][2]int
+	// termSet is the current query's term→offsets map, set by bestSeed
+	// before each extraction; extract reads it through the struct so
+	// the callback closes over nothing query-specific.
+	termSet map[kmer.Term][]int
+	extract func(sPos int, t kmer.Term)
+}
+
+func newSeedScratch() *seedScratch {
+	sc := &seedScratch{
+		counts:   make(map[int]int),
+		firstHit: make(map[int][2]int),
+	}
+	sc.extract = func(sPos int, t kmer.Term) {
+		for _, qp := range sc.termSet[t] {
 			d := sPos - qp
-			counts[d]++
-			if _, ok := firstHit[d]; !ok {
-				firstHit[d] = [2]int{qp, sPos}
+			sc.counts[d]++
+			if _, ok := sc.firstHit[d]; !ok {
+				sc.firstHit[d] = [2]int{qp, sPos}
 			}
 		}
-	})
+	}
+	return sc
+}
+
+// bestSeed finds the strongest alignment diagonal of the query against
+// seq by binning shared intervals, and returns a shared interval on it
+// — the anchor for banded centring and for the prescreen extension. It
+// reports false when the sequences share no interval (possible when a
+// stopped term admitted the candidate via another strand or mode).
+// It runs once per candidate inside the fine phase, so its scratch is
+// pooled per worker rather than allocated per call.
+//
+//cafe:hotpath
+func (s *Searcher) bestSeed(coder *kmer.Coder, seq []byte, sc *seedScratch) (seedHit, bool) {
+	clear(sc.counts)
+	clear(sc.firstHit)
+	sc.termSet = s.termSet
+	coder.ExtractFunc(seq, sc.extract)
 	best, bestDiag, found := 0, 0, false
-	for d, n := range counts {
+	for d, n := range sc.counts {
 		if n > best || n == best && found && d < bestDiag {
 			best, bestDiag, found = n, d, true
 		}
@@ -684,7 +960,7 @@ func (s *Searcher) bestSeed(query, seq []byte) (seedHit, bool) {
 	if !found {
 		return seedHit{}, false
 	}
-	hit := firstHit[bestDiag]
+	hit := sc.firstHit[bestDiag]
 	return seedHit{diag: bestDiag, qPos: hit[0], sPos: hit[1]}, true
 }
 

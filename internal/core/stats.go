@@ -35,6 +35,12 @@ type SearchStats struct {
 	// CoarseCandidates is the number of candidates admitted past the
 	// coarse phase — the sequences that may receive fine alignment.
 	CoarseCandidates int
+	// CoarseShards is the number of coarse accumulation shards used,
+	// summed over strands: 1 per strand on the serial path, the
+	// effective CoarseWorkers when the posting-list walk was sharded.
+	// The per-shard postings counters (PostingLists, PostingsDecoded,
+	// PostingsBytesRead) always sum to the serial values.
+	CoarseShards int
 	// PrescreenRejections is the number of candidates the ungapped
 	// x-drop prescreen discarded before fine alignment (including
 	// candidates with no shared seed to extend).
@@ -79,6 +85,7 @@ func (st *SearchStats) Add(o SearchStats) {
 	st.PostingsBytesRead += o.PostingsBytesRead
 	st.CoarseSequences += o.CoarseSequences
 	st.CoarseCandidates += o.CoarseCandidates
+	st.CoarseShards += o.CoarseShards
 	st.PrescreenRejections += o.PrescreenRejections
 	st.FineAlignments += o.FineAlignments
 	st.TracebackAlignments += o.TracebackAlignments

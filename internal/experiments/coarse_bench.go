@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"sort"
+	"time"
+
+	"nucleodb/internal/core"
+	"nucleodb/internal/index"
+)
+
+// CoarseBenchRun is one worker-count's measurement over the standard
+// workload: coarse-phase and whole-query wall time, and the coarse
+// speedup relative to the serial run.
+type CoarseBenchRun struct {
+	Workers       int     `json:"workers"`
+	CoarseTotalUS float64 `json:"coarse_total_us"`
+	CoarseMeanUS  float64 `json:"coarse_mean_us"`
+	QueryMeanUS   float64 `json:"query_mean_us"`
+	// CoarseSpeedup is serial coarse time over this run's coarse time
+	// (1.0 for the serial row by construction).
+	CoarseSpeedup float64 `json:"coarse_speedup"`
+	// Shards is the summed SearchStats.CoarseShards over the workload —
+	// the effective fan-out actually used.
+	Shards int64 `json:"shards"`
+}
+
+// CoarseBenchReport is the serial-versus-sharded coarse trajectory
+// `cafe-bench -coarse` emits (committed as BENCH_coarse.json). The
+// equivalence fields double as a smoke check: CandidatesIdentical must
+// be true — the sharded walk is required to return byte-identical
+// results — and CI fails the run otherwise.
+type CoarseBenchReport struct {
+	Seed       int              `json:"seed"`
+	Bases      int              `json:"bases"`
+	Sequences  int              `json:"sequences"`
+	Queries    int              `json:"queries"`
+	QueryLen   int              `json:"query_len"`
+	K          int              `json:"k"`
+	Candidates int              `json:"candidates"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Runs       []CoarseBenchRun `json:"runs"`
+	// CandidatesIdentical reports whether every sharded run returned
+	// exactly the serial run's results (IDs, scores, spans, transcripts).
+	CandidatesIdentical bool `json:"candidates_identical"`
+}
+
+// CoarseBench measures the coarse phase serial versus sharded across
+// workerCounts (default 1, 2, 4, GOMAXPROCS — deduplicated) on the
+// standard workload, and verifies the sharded runs reproduce the serial
+// results exactly. Each worker count runs the whole workload repeatedly
+// and keeps the fastest pass, damping scheduler noise.
+func CoarseBench(cfg Config, workerCounts []int) (*CoarseBenchReport, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	}
+	// The serial row is always measured: it is the speedup baseline and
+	// the reference for the equivalence check.
+	seen := map[int]bool{}
+	counts := []int{1}
+	seen[1] = true
+	for _, w := range workerCounts {
+		if w < 1 {
+			w = 1
+		}
+		if !seen[w] {
+			seen[w] = true
+			counts = append(counts, w)
+		}
+	}
+	sort.Ints(counts)
+
+	env, err := NewEnv(cfg, cfg.BaseBases)
+	if err != nil {
+		return nil, err
+	}
+	idx, _, err := env.BuildIndex(index.Options{K: cfg.K, StoreOffsets: true})
+	if err != nil {
+		return nil, err
+	}
+	searcher, err := core.NewSearcher(idx, env.Store, env.Scoring)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.DefaultOptions()
+	opts.Candidates = cfg.Candidates
+	opts.Limit = cfg.TopN
+
+	const repeats = 3
+	nq := len(env.Queries)
+	if nq == 0 {
+		nq = 1
+	}
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+	report := &CoarseBenchReport{
+		Seed:                int(cfg.Seed),
+		Bases:               env.TotalBases(),
+		Sequences:           env.Store.Len(),
+		Queries:             len(env.Queries),
+		QueryLen:            cfg.QueryLen,
+		K:                   cfg.K,
+		Candidates:          cfg.Candidates,
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		CandidatesIdentical: true,
+	}
+
+	var serialResults [][]core.Result
+	var serialCoarse time.Duration
+	for _, workers := range counts {
+		wopts := opts
+		if workers > 1 {
+			wopts.CoarseWorkers = workers
+		}
+		var bestCoarse, bestTotal time.Duration
+		var shards int64
+		var results [][]core.Result
+		for rep := 0; rep < repeats; rep++ {
+			var coarse, total time.Duration
+			shards = 0
+			pass := make([][]core.Result, len(env.Queries))
+			var st core.SearchStats
+			for qi := range env.Queries {
+				rs, err := searcher.SearchWithStats(env.Queries[qi].Codes, wopts, &st)
+				if err != nil {
+					return nil, err
+				}
+				coarse += st.CoarseTime
+				total += st.TotalTime
+				shards += int64(st.CoarseShards)
+				pass[qi] = rs
+			}
+			if rep == 0 || coarse < bestCoarse {
+				bestCoarse = coarse
+			}
+			if rep == 0 || total < bestTotal {
+				bestTotal = total
+			}
+			results = pass
+		}
+		if workers == counts[0] {
+			serialResults = results
+			serialCoarse = bestCoarse
+		} else if !reflect.DeepEqual(results, serialResults) {
+			report.CandidatesIdentical = false
+		}
+		speedup := 1.0
+		if bestCoarse > 0 {
+			speedup = float64(serialCoarse) / float64(bestCoarse)
+		}
+		report.Runs = append(report.Runs, CoarseBenchRun{
+			Workers:       workers,
+			CoarseTotalUS: us(bestCoarse),
+			CoarseMeanUS:  us(bestCoarse) / float64(nq),
+			QueryMeanUS:   us(bestTotal) / float64(nq),
+			CoarseSpeedup: speedup,
+			Shards:        shards,
+		})
+	}
+	return report, nil
+}

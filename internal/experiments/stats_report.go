@@ -86,6 +86,7 @@ func Observe(cfg Config) (*StatsReport, error) {
 			"postings_bytes_read":  agg.PostingsBytesRead,
 			"coarse_sequences":     int64(agg.CoarseSequences),
 			"coarse_candidates":    int64(agg.CoarseCandidates),
+			"coarse_shards":        int64(agg.CoarseShards),
 			"prescreen_rejections": int64(agg.PrescreenRejections),
 			"fine_alignments":      int64(agg.FineAlignments),
 			"traceback_alignments": int64(agg.TracebackAlignments),

@@ -361,7 +361,10 @@ func (s *Server) timeout(req searchRequest) (time.Duration, error) {
 
 // cacheKey builds the result-cache key: the canonical query letters
 // (encode/decode normalises case and U→T) plus every option that
-// affects the answer.
+// affects the answer. Execution knobs that are proven result-neutral
+// (CoarseWorkers, FineWorkers — the equivalence property tests lock in
+// byte-identical output) are deliberately excluded, so serial and
+// sharded configurations share cache entries.
 func cacheKey(canonical string, opts nucleodb.SearchOptions) string {
 	return fmt.Sprintf("%s|%d|%d|%t|%t|%d|%d|%d|%t|%d",
 		canonical, opts.Candidates, opts.MinCoarseHits, opts.Diagonal, opts.Exact,

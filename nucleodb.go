@@ -333,6 +333,12 @@ type SearchOptions struct {
 	// (lower single-query latency on multicore machines); 0 or 1 is
 	// serial. Results are identical at any setting.
 	FineWorkers int
+	// CoarseWorkers partitions the query's posting lists across this
+	// many workers in the coarse phase, each accumulating into private
+	// per-shard counters merged deterministically afterwards — lower
+	// coarse latency on multicore machines for term-rich queries. 0 or
+	// 1 is serial. Results are byte-identical at any setting.
+	CoarseWorkers int
 }
 
 // DefaultSearchOptions returns the settings of the headline
@@ -367,6 +373,7 @@ func (o SearchOptions) internal() core.Options {
 		BothStrands:   o.BothStrands,
 		Prescreen:     o.Prescreen,
 		FineWorkers:   o.FineWorkers,
+		CoarseWorkers: o.CoarseWorkers,
 	}
 }
 
@@ -426,6 +433,12 @@ type SearchStats struct {
 	// CoarseCandidates is the number of candidates admitted to the
 	// post-coarse phases.
 	CoarseCandidates int `json:"coarse_candidates"`
+	// CoarseShards is the number of coarse accumulation shards used,
+	// summed over strands: 1 per strand serially, the effective
+	// CoarseWorkers when the posting-list walk was sharded. The
+	// postings counters above are shard sums and always equal the
+	// serial values.
+	CoarseShards int `json:"coarse_shards"`
 	// PrescreenRejections is the number of candidates the ungapped
 	// extension prescreen discarded before fine alignment.
 	PrescreenRejections int `json:"prescreen_rejections"`
@@ -465,6 +478,7 @@ func (s *SearchStats) Add(o SearchStats) {
 	s.PostingsBytesRead += o.PostingsBytesRead
 	s.CoarseSequences += o.CoarseSequences
 	s.CoarseCandidates += o.CoarseCandidates
+	s.CoarseShards += o.CoarseShards
 	s.PrescreenRejections += o.PrescreenRejections
 	s.FineAlignments += o.FineAlignments
 	s.TracebackAlignments += o.TracebackAlignments
@@ -487,6 +501,7 @@ func searchStatsFrom(cs core.SearchStats) SearchStats {
 		PostingsBytesRead:   cs.PostingsBytesRead,
 		CoarseSequences:     cs.CoarseSequences,
 		CoarseCandidates:    cs.CoarseCandidates,
+		CoarseShards:        cs.CoarseShards,
 		PrescreenRejections: cs.PrescreenRejections,
 		FineAlignments:      cs.FineAlignments,
 		TracebackAlignments: cs.TracebackAlignments,
@@ -508,6 +523,7 @@ var (
 	mPostingsDecoded  = metrics.Default().Counter("postings_decoded_total")
 	mPostingsBytes    = metrics.Default().Counter("postings_bytes_read_total")
 	mCoarseCandidates = metrics.Default().Counter("coarse_candidates_total")
+	mCoarseShards     = metrics.Default().Counter("coarse_shards_total")
 	mPrescreenRejects = metrics.Default().Counter("prescreen_rejections_total")
 	mFineAlignments   = metrics.Default().Counter("fine_alignments_total")
 	mTracebacks       = metrics.Default().Counter("traceback_alignments_total")
@@ -525,6 +541,7 @@ func recordSearchMetrics(st SearchStats) {
 	mPostingsDecoded.Add(st.PostingsDecoded)
 	mPostingsBytes.Add(st.PostingsBytesRead)
 	mCoarseCandidates.Add(int64(st.CoarseCandidates))
+	mCoarseShards.Add(int64(st.CoarseShards))
 	mPrescreenRejects.Add(int64(st.PrescreenRejections))
 	mFineAlignments.Add(int64(st.FineAlignments))
 	mTracebacks.Add(int64(st.TracebackAlignments))
