@@ -21,11 +21,28 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Committed benchmark trajectories. Both runs double as equivalence
+# smokes (cafe-bench exits nonzero if any parallel or bitvector run's
+# results differ from the serial scalar run's) and both refuse to run
+# at GOMAXPROCS=1 — a single-core "parallel" trajectory is meaningless.
+BENCH_PROCS ?= 4
+
 # Serial-vs-sharded coarse trajectory, committed as BENCH_coarse.json.
-# The run doubles as an equivalence smoke: cafe-bench -coarse exits
-# nonzero if any sharded run's results differ from the serial run's.
 bench-json:
-	$(GO) run ./cmd/cafe-bench -coarse > BENCH_coarse.json
+	GOMAXPROCS=$(BENCH_PROCS) $(GO) run ./cmd/cafe-bench -coarse > BENCH_coarse.json
+
+# Scalar-vs-bitvector fine kernel sweep, committed as BENCH_fine.json.
+bench-fine:
+	GOMAXPROCS=$(BENCH_PROCS) $(GO) run ./cmd/cafe-bench -fine > BENCH_fine.json
+
+# CI regression gate over both trajectories: coarse parallel efficiency
+# must beat serial at 2+ workers (skipped with a warning on <2-CPU
+# machines, where parallel speedup is physically impossible) and the
+# bitvector kernel must hold a 1.8x serial speedup over scalar (the
+# >=2x acceptance bar minus 10% tolerance).
+bench-efficiency:
+	GOMAXPROCS=$(BENCH_PROCS) $(GO) run ./cmd/cafe-bench -coarse -gate-coarse-speedup 1.0 > /dev/null
+	GOMAXPROCS=$(BENCH_PROCS) $(GO) run ./cmd/cafe-bench -fine -gate-kernel-speedup 1.8 > /dev/null
 
 # The full pre-commit gate: static checks (vet plus the repo's own
 # cafe-lint pass suite), the race-enabled test suite, a build of every
@@ -65,6 +82,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzPostingsDecode$$' -fuzztime=2s ./internal/postings
 	$(GO) test -run='^$$' -fuzz='^FuzzKmerRoundtrip$$' -fuzztime=2s ./internal/kmer
 	$(GO) test -run='^$$' -fuzz='^FuzzSequenceDecode$$' -fuzztime=2s ./internal/db
+	$(GO) test -run='^$$' -fuzz='^FuzzBitvectorAlign$$' -fuzztime=2s ./internal/align
 
 # End-to-end smoke over cafe-serve: build the binary, start it on a
 # random port, replay testdata/script.json, and diff every response

@@ -1,0 +1,310 @@
+package align
+
+// Bit-parallel ("bitvector") Smith–Waterman scoring: a Farrar-style
+// query-profile–striped kernel that packs four 16-bit DP lanes into one
+// uint64 and advances all four with plain word arithmetic — pure Go, no
+// assembly. The kernel computes the exact affine-gap local alignment
+// score (identical to LocalScore, whose recurrences it transposes), but
+// no traceback: the fine phase uses it to rank candidates and falls
+// back to the scalar Local for the transcripts of reported results.
+//
+// Layout. The query is striped Farrar-style: with segLen = ⌈n/4⌉
+// words, lane l of word w holds query position l·segLen + w. Striping
+// puts each lane's vertical (gap-in-subject) dependency in the same
+// lane of the previous word, so the F state threads through the inner
+// loop as a single carried vector, with the classic lazy-F correction
+// loop handling the rare cross-stripe propagation.
+//
+// Lanes are unsigned 16-bit values kept ≤ laneCap (0x7FFF): every DP
+// value is a local-alignment score (≥ 0) bounded by min(n,m)·Match, and
+// Supports refuses pairs whose bound could reach the lane top — those
+// fall back to the scalar kernel. Keeping the per-lane top bit clear is
+// what makes the branch-free SWAR primitives below exact: saturating
+// subtraction and maximum both borrow the spare bit as a per-lane
+// comparison flag.
+
+import "nucleodb/internal/dna"
+
+const (
+	bvLanes    = 4  // 16-bit lanes per uint64
+	bvLaneBits = 16 // bits per lane
+
+	// laneCap is the largest value any lane may hold: the per-lane top
+	// bit must stay clear for laneSubSat/laneMax to be exact.
+	laneCap = 0x7FFF
+
+	laneHi   = 0x8000_8000_8000_8000 // per-lane top bits
+	laneOnes = 0x0001_0001_0001_0001 // 1 in every lane
+)
+
+// packLane broadcasts v (0 ≤ v ≤ laneCap) into all four lanes.
+func packLane(v int) uint64 { return uint64(v) * laneOnes }
+
+// laneSubSat returns x−y per 16-bit lane, saturated at 0 (the DP's
+// "clamp negative scores to zero"). Both operands must be ≤ laneCap in
+// every lane. Setting each lane's top bit in x prevents borrows from
+// crossing lanes; the surviving top bit then flags the lanes where
+// x ≥ y, and spreading it to a full-lane mask keeps exactly those
+// differences.
+//
+//cafe:hotpath
+func laneSubSat(x, y uint64) uint64 {
+	z := (x | laneHi) - y
+	keep := ((z & laneHi) >> 15) * 0xFFFF
+	return (z ^ laneHi) & keep
+}
+
+// laneMax returns the per-lane maximum of x and y (lanes ≤ laneCap).
+//
+//cafe:hotpath
+func laneMax(x, y uint64) uint64 {
+	z := (x | laneHi) - y
+	keep := ((z & laneHi) >> 15) * 0xFFFF // full lanes where x ≥ y
+	return (x & keep) | (y &^ keep)
+}
+
+// StripedScratch is the per-worker mutable state of one striped score
+// evaluation: the current/previous H columns and the E (gap-in-query
+// direction) column. One scratch belongs to one goroutine at a time;
+// the fine phase pools one per worker.
+type StripedScratch struct {
+	cur, prev, e []uint64
+}
+
+// resize prepares the scratch for segLen words, growing once at the
+// high-water mark and zeroing the active prefix (the DP boundary).
+func (sc *StripedScratch) resize(segLen int) {
+	if cap(sc.cur) < segLen {
+		sc.cur = make([]uint64, segLen)
+		sc.prev = make([]uint64, segLen)
+		sc.e = make([]uint64, segLen)
+	}
+	sc.cur = sc.cur[:segLen]
+	sc.prev = sc.prev[:segLen]
+	sc.e = sc.e[:segLen]
+	clear(sc.cur)
+	clear(sc.prev)
+	clear(sc.e)
+}
+
+// StripedProfile is the striped query profile of the bitvector kernel:
+// for every subject code, the biased substitution scores of all query
+// positions, in stripe order. Building it costs O(16·n) once per query
+// strand; scoring a subject then never calls Scoring.Score. A profile
+// is immutable after Build and safe for concurrent Score calls with
+// distinct scratches.
+type StripedProfile struct {
+	n       int      // query length
+	segLen  int      // words per column
+	prof    []uint64 // (dna.NumCodes+1) rows × segLen words, biased by Mismatch
+	masks   []uint64 // full lanes at real query positions, 0 at padding
+	hasPad  bool     // any padding lane at all (n % bvLanes != 0 or short query)
+	bias    uint64   // packed Mismatch
+	openExt uint64   // packed GapOpen+GapExtend
+	ext     uint64   // packed GapExtend
+	// maxMin is the largest min(query, subject) length whose score
+	// bound fits the lanes; 0 marks a scoring whose parameters alone
+	// overflow (Supports then always refuses).
+	maxMin int
+}
+
+// NewStripedProfile builds the striped profile of query q under s. The
+// returned profile always builds; Supports reports per-subject whether
+// the lanes can hold the score bound.
+func NewStripedProfile(q []byte, s Scoring) *StripedProfile {
+	p := &StripedProfile{}
+	p.Build(q, s)
+	return p
+}
+
+// Build (re)initialises the profile for a new query, reusing backing
+// storage — the searcher rebuilds one pooled profile per strand.
+func (p *StripedProfile) Build(q []byte, s Scoring) {
+	n := len(q)
+	segLen := (n + bvLanes - 1) / bvLanes
+	p.n, p.segLen = n, segLen
+	p.bias = packLane(s.Mismatch & laneCap)
+	p.openExt = packLane((s.GapOpen + s.GapExtend) & laneCap)
+	p.ext = packLane(s.GapExtend & laneCap)
+
+	// Lane capacity: the top score of a local alignment of lengths
+	// (n, m) is min(n,m)·Match, and the pre-bias add in the inner loop
+	// peaks at that plus Match+Mismatch. Refuse anything that could
+	// touch the per-lane top bit.
+	p.maxMin = 0
+	if s.Match > 0 && s.Match+s.Mismatch <= laneCap &&
+		s.GapOpen+s.GapExtend <= laneCap {
+		p.maxMin = (laneCap - s.Match - s.Mismatch) / s.Match
+	}
+
+	rows := int(dna.NumCodes) + 1 // one per code plus the never-matches row
+	if cap(p.prof) < rows*segLen {
+		p.prof = make([]uint64, rows*segLen)
+	}
+	p.prof = p.prof[:rows*segLen]
+	if cap(p.masks) < segLen {
+		p.masks = make([]uint64, segLen)
+	}
+	p.masks = p.masks[:segLen]
+
+	for c := 0; c < rows; c++ {
+		row := p.prof[c*segLen : (c+1)*segLen]
+		for w := 0; w < segLen; w++ {
+			var word uint64
+			for l := 0; l < bvLanes; l++ {
+				pos := l*segLen + w
+				if pos >= n {
+					continue // padding lane: weight irrelevant, H is masked
+				}
+				var sc int
+				if c < int(dna.NumCodes) {
+					sc = s.Score(q[pos], byte(c))
+				} else {
+					sc = -s.Mismatch // subject byte outside the code space
+				}
+				word |= uint64(uint16(sc+s.Mismatch)) << (bvLaneBits * l)
+			}
+			row[w] = word
+		}
+	}
+	p.hasPad = false
+	for w := 0; w < segLen; w++ {
+		var mask uint64
+		for l := 0; l < bvLanes; l++ {
+			if l*segLen+w < n {
+				mask |= uint64(0xFFFF) << (bvLaneBits * l)
+			}
+		}
+		p.masks[w] = mask
+		if mask != ^uint64(0) {
+			p.hasPad = true
+		}
+	}
+}
+
+// Supports reports whether the lanes can hold the DP values of this
+// query against a subject of length lb. Callers fall back to the
+// scalar kernel when it returns false ("queries longer than the
+// striping supports" — though the binding length is whichever sequence
+// is shorter, since that bounds the score).
+//
+//cafe:hotpath
+func (p *StripedProfile) Supports(lb int) bool {
+	if p.maxMin <= 0 {
+		return false
+	}
+	minLen := p.n
+	if lb < minLen {
+		minLen = lb
+	}
+	return minLen <= p.maxMin
+}
+
+// Score computes the exact Smith–Waterman affine-gap local alignment
+// score of the profile's query against subject b — bit for bit the
+// score LocalScore returns — using sc as scratch. It reports false
+// (and does no work) when the pair exceeds the lanes' capacity; the
+// caller then runs the scalar kernel.
+//
+//cafe:hotpath
+func (p *StripedProfile) Score(b []byte, sc *StripedScratch) (int, bool) {
+	if p.n == 0 || len(b) == 0 {
+		return 0, true
+	}
+	if !p.Supports(len(b)) {
+		return 0, false
+	}
+	segLen := p.segLen
+	sc.resize(segLen) //cafe:allow amortised scratch; stabilises at the high-water segment length
+	// Reslice to the exact segment length so the inner loops'
+	// w < segLen bound provably covers every index (bounds-check
+	// elimination keeps the hot loop branch-free).
+	cur, prev, e := sc.cur[:segLen], sc.prev[:segLen], sc.e[:segLen]
+	masks := p.masks[:segLen]
+	bias, openExt, ext := p.bias, p.openExt, p.ext
+	hasPad := p.hasPad
+	var best uint64
+
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if c >= dna.NumCodes {
+			c = dna.NumCodes // the never-matches profile row
+		}
+		prof := p.prof[int(c)*segLen : (int(c)+1)*segLen]
+
+		// Diagonal carry-in: the previous column's last word, shifted
+		// one lane up, so lane l starts from lane l−1's stripe end.
+		// Lane 0 gets the zero boundary.
+		vH := prev[segLen-1] << bvLaneBits
+		var vF uint64
+		for w := 0; w < segLen; w++ {
+			// H = max(0, diag + W, E, F). The profile is biased by
+			// Mismatch so the add stays non-negative; the saturating
+			// subtract of the bias restores the true value and clamps
+			// at zero in one step.
+			vH = laneSubSat(vH+prof[w], bias)
+			vE := e[w]
+			vH = laneMax(vH, vE)
+			vH = laneMax(vH, vF)
+			if hasPad {
+				vH &= masks[w]
+			}
+			cur[w] = vH
+			best = laneMax(best, vH)
+
+			// Next-column E and next-word F, both fed by H − (open+ext)
+			// and decayed by ext.
+			vHGap := laneSubSat(vH, openExt)
+			e[w] = laneMax(laneSubSat(vE, ext), vHGap)
+			vF = laneMax(laneSubSat(vF, ext), vHGap)
+
+			vH = prev[w] // diagonal input for the next word
+		}
+
+		// Lazy-F: propagate F across stripe boundaries. Each pass
+		// shifts F one lane up and re-sweeps the column until F can no
+		// longer improve any cell (F ≤ H − (open+ext) everywhere means
+		// every later F value is dominated by one the main loop already
+		// produced). H cells raised here also re-feed the E column —
+		// the scalar recurrence allows a gap-gap corner, so exact
+		// equality needs E to see the corrected H.
+	lazyF:
+		for k := 0; k < bvLanes; k++ {
+			vF <<= bvLaneBits
+			for w := 0; w < segLen; w++ {
+				vH := cur[w]
+				if laneSubSat(vF, laneSubSat(vH, openExt)) == 0 {
+					break lazyF
+				}
+				vH = laneMax(vH, vF)
+				if hasPad {
+					vH &= masks[w]
+				}
+				cur[w] = vH
+				best = laneMax(best, vH)
+				e[w] = laneMax(e[w], laneSubSat(vH, openExt))
+				vF = laneSubSat(vF, ext)
+			}
+		}
+
+		cur, prev = prev, cur
+	}
+
+	score := 0
+	for l := 0; l < bvLanes; l++ {
+		if v := int(best >> (bvLaneBits * l) & 0xFFFF); v > score {
+			score = v
+		}
+	}
+	return score, true
+}
+
+// StripedLocalScore is the one-shot form of the bitvector kernel: it
+// builds the profile, scores a against b, and reports whether the pair
+// was within lane capacity. Equivalent to LocalScore(a, b, s)'s score
+// when ok; the fine phase uses the profile/scratch form to amortise
+// the build across candidates.
+func StripedLocalScore(a, b []byte, s Scoring) (score int, ok bool) {
+	var sc StripedScratch
+	return NewStripedProfile(a, s).Score(b, &sc)
+}

@@ -89,6 +89,37 @@ func (m FineMode) String() string {
 	return fmt.Sprintf("FineMode(%d)", int(m))
 }
 
+// FineKernel selects the scoring kernel of the fine phase's
+// full-matrix aligner.
+type FineKernel int
+
+const (
+	// FineKernelAuto picks the fastest exact kernel for the fine mode:
+	// bitvector under FineFull, scalar under FineBanded (which has no
+	// bit-parallel form).
+	FineKernelAuto FineKernel = iota
+	// FineKernelScalar is the classic cell-at-a-time Smith–Waterman.
+	FineKernelScalar
+	// FineKernelBitvector is the bit-parallel striped kernel
+	// (align.StripedProfile): four 16-bit DP lanes per uint64, exact
+	// scores, scalar fallback per candidate when a pair exceeds lane
+	// capacity. FineFull only.
+	FineKernelBitvector
+)
+
+// String returns the kernel's stats/CLI label.
+func (k FineKernel) String() string {
+	switch k {
+	case FineKernelAuto:
+		return "auto"
+	case FineKernelScalar:
+		return "scalar"
+	case FineKernelBitvector:
+		return "bitvector"
+	}
+	return fmt.Sprintf("FineKernel(%d)", int(k))
+}
+
 // Options configures one search.
 type Options struct {
 	// Candidates is the coarse-phase budget: at most this many
@@ -101,6 +132,11 @@ type Options struct {
 	CoarseMode CoarseMode
 	// FineMode selects the fine aligner.
 	FineMode FineMode
+	// FineKernel selects the fine scoring kernel. The default
+	// (FineKernelAuto) resolves to bitvector under FineFull and scalar
+	// under FineBanded; results are byte-identical either way, only
+	// speed differs.
+	FineKernel FineKernel
 	// Band is the half-width for FineBanded.
 	Band int
 	// MinScore discards fine alignments below this score.
@@ -160,6 +196,12 @@ func (o Options) validate() error {
 	if o.FineMode == FineBanded && o.Band < 1 {
 		return fmt.Errorf("core: banded fine phase needs Band ≥ 1, got %d", o.Band)
 	}
+	if o.FineKernel < FineKernelAuto || o.FineKernel > FineKernelBitvector {
+		return fmt.Errorf("core: unknown fine kernel (use auto, scalar or bitvector)")
+	}
+	if o.FineKernel == FineKernelBitvector && o.FineMode != FineFull {
+		return fmt.Errorf("core: the bitvector fine kernel requires FineFull (the banded aligner has no bit-parallel form)")
+	}
 	if o.MinScore < 0 || o.Limit < 0 {
 		return fmt.Errorf("core: negative MinScore or Limit")
 	}
@@ -173,6 +215,17 @@ func (o Options) validate() error {
 		return fmt.Errorf("core: negative CoarseWorkers %d", o.CoarseWorkers)
 	}
 	return nil
+}
+
+// Kernel resolves FineKernelAuto to the kernel the search will run.
+func (o Options) Kernel() FineKernel {
+	if o.FineKernel != FineKernelAuto {
+		return o.FineKernel
+	}
+	if o.FineMode == FineFull {
+		return FineKernelBitvector
+	}
+	return FineKernelScalar
 }
 
 // Result is one search answer.
@@ -191,10 +244,14 @@ type Result struct {
 	// produced one (FineFull on in-budget sizes).
 	Alignment align.Alignment
 
-	// Banded-traceback deferral: candidates are ranked with the cheap
-	// score-only banded pass and only reported results get transcripts.
+	// Traceback deferral: candidates are ranked with a cheap score-only
+	// pass (banded, or the bitvector kernel under FineFull) and only
+	// reported results get transcripts. fullTraceback marks results
+	// whose deferred traceback is the unrestricted Smith–Waterman
+	// rather than the banded one.
 	bandCentre     int
 	needsTraceback bool
+	fullTraceback  bool
 }
 
 // Searcher evaluates partitioned queries against an index and its
@@ -224,6 +281,11 @@ type Searcher struct {
 	// seedScratch holds one bestSeed scratch per fine worker, grown to
 	// the high-water FineWorkers and reused across candidates.
 	seedScratch []*seedScratch
+
+	// bvProfile is the pooled striped query profile of the bitvector
+	// fine kernel, rebuilt once per strand (Build reuses its backing)
+	// and read-only while fine workers score against it.
+	bvProfile align.StripedProfile
 }
 
 // termJob is one unit of coarse work: a query term and the query
@@ -382,6 +444,7 @@ func (s *Searcher) SearchWithStatsContext(ctx context.Context, query []byte, opt
 	if st != nil {
 		st.Reset()
 		st.Strands = 1
+		st.FineKernel = opts.Kernel().String()
 		start = time.Now()
 	}
 	forward, err := s.searchStrand(ctx, query, opts, st)
@@ -465,6 +528,20 @@ func (s *Searcher) finishTracebacks(ctx context.Context, query, rcQuery []byte, 
 			q = rcQuery
 		}
 		subject := s.src.Sequence(r.ID)
+		if r.fullTraceback {
+			// The bitvector kernel ranked this result score-only; the
+			// transcript comes from the scalar full-matrix aligner, which
+			// computes the same optimal score (the differential tests pin
+			// this), so the reported result is byte-identical to the
+			// scalar kernel's.
+			r.Alignment = align.Local(q, subject, s.scoring)
+			if st != nil {
+				st.TracebackAlignments++
+				st.TracebackDPCells += align.LocalCells(len(q), len(subject))
+			}
+			r.needsTraceback, r.fullTraceback = false, false
+			continue
+		}
 		al := align.BandedLocal(q, subject, r.bandCentre, opts.Band, s.scoring)
 		if st != nil {
 			st.TracebackAlignments++
@@ -533,6 +610,10 @@ func (s *Searcher) searchStrand(ctx context.Context, query []byte, opts Options,
 	// returns by value (fineWork), so the parallel path needs no
 	// shared state.
 	coder := s.idx.Coder()
+	useBitvector := opts.FineMode == FineFull && opts.Kernel() == FineKernelBitvector
+	if useBitvector && len(cands) > 0 {
+		s.bvProfile.Build(query, s.scoring)
+	}
 	fine := func(c Candidate, sc *seedScratch) (Result, bool, fineWork) {
 		var fw fineWork
 		seq := s.src.Sequence(c.ID)
@@ -566,6 +647,27 @@ func (s *Searcher) searchStrand(ctx context.Context, query []byte, opts Options,
 		}
 		switch opts.FineMode {
 		case FineFull:
+			if useBitvector {
+				if score, ok := s.bvProfile.Score(seq, &sc.bv); ok {
+					// Exact score, no transcript: rank on it and defer
+					// the full traceback to the results that survive
+					// MinScore and Limit (see finishTracebacks), exactly
+					// like the banded score-only pass.
+					r.Score = score
+					r.Alignment = align.Alignment{Score: score}
+					if score > 0 {
+						r.needsTraceback = true
+						r.fullTraceback = true
+					}
+					if collect {
+						fw.cells = align.LocalCells(len(query), len(seq))
+						fw.bitvector = true
+					}
+					break
+				}
+			}
+			// Scalar kernel, or the per-candidate fallback when the pair
+			// exceeds the bitvector lanes' capacity.
 			r.Alignment = align.Local(query, seq, s.scoring)
 			r.Score = r.Alignment.Score
 			if collect {
@@ -918,6 +1020,10 @@ type seedScratch struct {
 	// the callback closes over nothing query-specific.
 	termSet map[kmer.Term][]int
 	extract func(sPos int, t kmer.Term)
+	// bv is the worker's bitvector-kernel scratch (DP columns), reused
+	// across candidates; it rides in the seed scratch so the fine
+	// phase's one-scratch-per-worker discipline covers both kernels.
+	bv align.StripedScratch
 }
 
 func newSeedScratch() *seedScratch {

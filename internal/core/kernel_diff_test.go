@@ -1,0 +1,300 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"nucleodb/internal/align"
+	"nucleodb/internal/dna"
+	"nucleodb/internal/index"
+)
+
+// TestFineKernelEquivalence is the end-to-end differential harness of
+// the bitvector kernel: the same search run with the scalar and the
+// bitvector fine kernel must return byte-identical result lists —
+// scores, rankings, spans and transcripts — across every coarse mode,
+// both strand settings, and serial/parallel coarse and fine phases.
+func TestFineKernelEquivalence(t *testing.T) {
+	f := makeFixture(t, 61, index.Options{K: 9, StoreOffsets: true})
+	s := newTestSearcher(t, f)
+
+	modes := []CoarseMode{CoarseDistinct, CoarseTotal, CoarseNormalised, CoarseDiagonal}
+	for _, mode := range modes {
+		for _, both := range []bool{false, true} {
+			for _, cw := range []int{1, 3} {
+				for _, fw := range []int{1, 4} {
+					opts := DefaultOptions()
+					opts.CoarseMode = mode
+					opts.FineMode = FineFull
+					opts.BothStrands = both
+					opts.CoarseWorkers = cw
+					opts.FineWorkers = fw
+
+					opts.FineKernel = FineKernelScalar
+					var scalarStats SearchStats
+					want, err := s.SearchWithStats(f.query, opts, &scalarStats)
+					if err != nil {
+						t.Fatalf("%v both=%v cw=%d fw=%d scalar: %v", mode, both, cw, fw, err)
+					}
+
+					opts.FineKernel = FineKernelBitvector
+					var bvStats SearchStats
+					got, err := s.SearchWithStats(f.query, opts, &bvStats)
+					if err != nil {
+						t.Fatalf("%v both=%v cw=%d fw=%d bitvector: %v", mode, both, cw, fw, err)
+					}
+
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%v both=%v cw=%d fw=%d: bitvector results differ from scalar\n got %+v\nwant %+v",
+							mode, both, cw, fw, got, want)
+					}
+					if len(want) == 0 {
+						t.Fatalf("%v both=%v: degenerate test, no results", mode, both)
+					}
+
+					// The kernels did the same logical work and labelled
+					// themselves truthfully.
+					if scalarStats.FineKernel != "scalar" || scalarStats.BitvectorAlignments != 0 {
+						t.Fatalf("scalar stats: kernel %q, bitvector alignments %d",
+							scalarStats.FineKernel, scalarStats.BitvectorAlignments)
+					}
+					if bvStats.FineKernel != "bitvector" {
+						t.Fatalf("bitvector stats: kernel %q", bvStats.FineKernel)
+					}
+					if bvStats.BitvectorAlignments != bvStats.FineAlignments {
+						t.Fatalf("bitvector stats: %d of %d alignments used the kernel (unexpected fallback at these sizes)",
+							bvStats.BitvectorAlignments, bvStats.FineAlignments)
+					}
+					if bvStats.FineAlignments != scalarStats.FineAlignments ||
+						bvStats.FineDPCells != scalarStats.FineDPCells {
+						t.Fatalf("kernels did different fine work: bitvector %d/%d cells, scalar %d/%d cells",
+							bvStats.FineAlignments, bvStats.FineDPCells,
+							scalarStats.FineAlignments, scalarStats.FineDPCells)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFineKernelAutoAndValidation pins the kernel resolution rules:
+// auto is bitvector under FineFull and scalar under FineBanded, and an
+// explicit bitvector request under FineBanded is a configuration error.
+func TestFineKernelAutoAndValidation(t *testing.T) {
+	full := Options{FineMode: FineFull}
+	if k := full.Kernel(); k != FineKernelBitvector {
+		t.Fatalf("auto under FineFull resolved to %v", k)
+	}
+	banded := Options{FineMode: FineBanded}
+	if k := banded.Kernel(); k != FineKernelScalar {
+		t.Fatalf("auto under FineBanded resolved to %v", k)
+	}
+	explicit := Options{FineMode: FineFull, FineKernel: FineKernelScalar}
+	if k := explicit.Kernel(); k != FineKernelScalar {
+		t.Fatalf("explicit scalar resolved to %v", k)
+	}
+
+	f := makeFixture(t, 62, index.Options{K: 9})
+	s := newTestSearcher(t, f)
+	bad := DefaultOptions()
+	bad.FineMode = FineBanded
+	bad.FineKernel = FineKernelBitvector
+	if _, err := s.Search(f.query, bad); err == nil {
+		t.Fatal("bitvector + FineBanded validated")
+	}
+	bad.FineKernel = FineKernel(99)
+	if _, err := s.Search(f.query, bad); err == nil {
+		t.Fatal("out-of-range kernel validated")
+	}
+
+	// Auto under FineFull really runs the bitvector kernel; stats say so.
+	opts := DefaultOptions()
+	opts.FineMode = FineFull
+	var st SearchStats
+	if _, err := s.SearchWithStats(f.query, opts, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.FineKernel != "bitvector" || st.BitvectorAlignments == 0 {
+		t.Fatalf("auto FineFull stats: kernel %q, %d bitvector alignments", st.FineKernel, st.BitvectorAlignments)
+	}
+}
+
+// TestFineKernelCapacityFallback drives the per-candidate scalar
+// fallback: a scoring whose values overflow the 16-bit lanes makes
+// every pair exceed stripe capacity, so the bitvector search must fall
+// back to the scalar kernel candidate by candidate and still return
+// exactly the scalar results.
+func TestFineKernelCapacityFallback(t *testing.T) {
+	f := makeFixture(t, 63, index.Options{K: 9, StoreOffsets: true})
+	huge := align.Scoring{Match: 20000, Mismatch: 4, GapOpen: 10, GapExtend: 2}
+	s, err := NewSearcher(f.idx, f.store, huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := DefaultOptions()
+	opts.FineMode = FineFull
+	opts.MinScore = 1
+
+	opts.FineKernel = FineKernelScalar
+	want, err := s.Search(f.query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.FineKernel = FineKernelBitvector
+	var st SearchStats
+	got, err := s.SearchWithStats(f.query, opts, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fallback results differ:\n got %+v\nwant %+v", got, want)
+	}
+	if len(want) == 0 {
+		t.Fatal("degenerate test: no results")
+	}
+	if st.BitvectorAlignments != 0 {
+		t.Fatalf("%d alignments claimed the bitvector kernel despite lane overflow", st.BitvectorAlignments)
+	}
+	if st.FineAlignments == 0 {
+		t.Fatal("no fine alignments ran")
+	}
+}
+
+// TestFineKernelDegenerateInputs covers the fine phase's edge inputs
+// under the bitvector kernel: an all-N query (every interval is a
+// wildcard; the coarse phase may admit nothing) and an empty candidate
+// set forced by an unsatisfiable MinCoarseHits. Both kernels must agree
+// and neither may panic.
+func TestFineKernelDegenerateInputs(t *testing.T) {
+	f := makeFixture(t, 64, index.Options{K: 9, StoreOffsets: true})
+	s := newTestSearcher(t, f)
+
+	allN := make([]byte, 120)
+	for i := range allN {
+		allN[i] = dna.WildN
+	}
+	for _, kernel := range []FineKernel{FineKernelScalar, FineKernelBitvector} {
+		opts := DefaultOptions()
+		opts.FineMode = FineFull
+		opts.FineKernel = kernel
+		rsN, errN := s.Search(allN, opts)
+		if errN != nil {
+			t.Fatalf("kernel %v all-N: %v", kernel, errN)
+		}
+		_ = rsN // agreement with the scalar run is checked below
+
+		opts.MinCoarseHits = 1 << 20
+		empty, err := s.Search(f.query, opts)
+		if err != nil {
+			t.Fatalf("kernel %v empty candidates: %v", kernel, err)
+		}
+		if len(empty) != 0 {
+			t.Fatalf("kernel %v: %d results from an empty candidate set", kernel, len(empty))
+		}
+	}
+
+	// Cross-kernel agreement on the all-N query, whatever it returns.
+	opts := DefaultOptions()
+	opts.FineMode = FineFull
+	opts.FineKernel = FineKernelScalar
+	want, err := s.Search(allN, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.FineKernel = FineKernelBitvector
+	got, err := s.Search(allN, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("all-N query: kernels disagree\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestFineKernelCancellation extends PR 5's countdown-ctx coverage into
+// the bitvector fine phase: cancellation observed between candidates
+// (serial and parallel fine) and during the deferred full tracebacks
+// must surface ctx.Err() with no partial results, and the searcher must
+// stay usable.
+func TestFineKernelCancellation(t *testing.T) {
+	f := makeFixture(t, 65, index.Options{K: 9, StoreOffsets: true})
+	s := newTestSearcher(t, f)
+
+	opts := DefaultOptions()
+	opts.FineMode = FineFull
+	opts.FineKernel = FineKernelBitvector
+
+	// Measure the poll budget of each stage from an uncancelled run:
+	// 1 entry check + one per query term (serial coarse) + one per
+	// candidate (serial fine) + one per deferred traceback.
+	var st SearchStats
+	results, err := s.SearchWithStats(f.query, opts, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 || st.TracebackAlignments == 0 {
+		t.Fatal("degenerate fixture: no deferred tracebacks to cancel")
+	}
+	coarsePolls := 1 + st.QueryTerms
+	finePolls := st.CoarseCandidates
+
+	cancelAt := map[string]int64{
+		"mid-fine":      int64(coarsePolls + finePolls/2),
+		"mid-traceback": int64(coarsePolls + finePolls + 1),
+	}
+	for name, allow := range cancelAt {
+		for _, workers := range []int{1, 4} {
+			opts.FineWorkers = workers
+			ctx := newCountdownCtx(allow)
+			rs, err := s.SearchContext(ctx, f.query, opts)
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("%s workers=%d: err = %v, want context.Canceled", name, workers, err)
+			}
+			if rs != nil {
+				t.Errorf("%s workers=%d: cancelled search returned %d partial results", name, workers, len(rs))
+			}
+			after, err := s.Search(f.query, opts)
+			if err != nil || len(after) == 0 {
+				t.Fatalf("%s workers=%d: searcher unusable after cancellation: %v (%d results)",
+					name, workers, err, len(after))
+			}
+		}
+	}
+}
+
+// TestFineKernelScratchHammer drives the pooled bitvector profile and
+// per-worker scratches hard under parallel coarse and fine phases, both
+// strands, across repeated searches — the race detector (make
+// test-race, CI's race job) turns any scratch-sharing bug into a
+// failure, and the result must stay byte-identical to the serial scalar
+// reference every iteration.
+func TestFineKernelScratchHammer(t *testing.T) {
+	f := makeFixture(t, 66, index.Options{K: 9, StoreOffsets: true})
+	s := newTestSearcher(t, f)
+
+	ref := DefaultOptions()
+	ref.FineMode = FineFull
+	ref.FineKernel = FineKernelScalar
+	ref.BothStrands = true
+	want, err := s.Search(f.query, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := ref
+	opts.FineKernel = FineKernelBitvector
+	opts.CoarseWorkers = 4
+	opts.FineWorkers = 8
+	for i := 0; i < 25; i++ {
+		got, err := s.Search(f.query, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iteration %d: parallel bitvector differs from serial scalar", i)
+		}
+	}
+}

@@ -48,6 +48,15 @@ type SearchStats struct {
 	// FineAlignments is the number of fine-phase alignments run; at
 	// most CoarseCandidates.
 	FineAlignments int
+	// BitvectorAlignments is the number of fine alignments the
+	// bit-parallel kernel scored (the rest ran the scalar kernel,
+	// either by configuration or as the capacity fallback). Always
+	// ≤ FineAlignments.
+	BitvectorAlignments int
+	// FineKernel is the resolved fine kernel of this search
+	// ("scalar" or "bitvector"); "mixed" after Add over searches that
+	// disagree.
+	FineKernel string
 	// TracebackAlignments is the number of deferred banded tracebacks
 	// run for reported results.
 	TracebackAlignments int
@@ -88,6 +97,13 @@ func (st *SearchStats) Add(o SearchStats) {
 	st.CoarseShards += o.CoarseShards
 	st.PrescreenRejections += o.PrescreenRejections
 	st.FineAlignments += o.FineAlignments
+	st.BitvectorAlignments += o.BitvectorAlignments
+	switch {
+	case st.FineKernel == "":
+		st.FineKernel = o.FineKernel
+	case o.FineKernel != "" && o.FineKernel != st.FineKernel:
+		st.FineKernel = "mixed"
+	}
 	st.TracebackAlignments += o.TracebackAlignments
 	st.FineDPCells += o.FineDPCells
 	st.TracebackDPCells += o.TracebackDPCells
@@ -116,6 +132,7 @@ type fineWork struct {
 	prescreen time.Duration
 	rejected  bool
 	aligned   bool
+	bitvector bool
 	cells     int64
 }
 
@@ -128,5 +145,8 @@ func (st *SearchStats) addFine(fw fineWork) {
 	if fw.aligned {
 		st.FineAlignments++
 		st.FineDPCells += fw.cells
+		if fw.bitvector {
+			st.BitvectorAlignments++
+		}
 	}
 }

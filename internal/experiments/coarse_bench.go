@@ -40,7 +40,12 @@ type CoarseBenchReport struct {
 	K          int              `json:"k"`
 	Candidates int              `json:"candidates"`
 	GOMAXPROCS int              `json:"gomaxprocs"`
-	Runs       []CoarseBenchRun `json:"runs"`
+	// CPUs is the physical core count of the machine that ran the
+	// bench (runtime.NumCPU). A trajectory with CPUs < Workers shows
+	// sharding overhead, not parallel speedup; the bench-efficiency CI
+	// gate only enforces speedups where CPUs permits them.
+	CPUs int              `json:"cpus"`
+	Runs []CoarseBenchRun `json:"runs"`
 	// CandidatesIdentical reports whether every sharded run returned
 	// exactly the serial run's results (IDs, scores, spans, transcripts).
 	CandidatesIdentical bool `json:"candidates_identical"`
@@ -103,6 +108,7 @@ func CoarseBench(cfg Config, workerCounts []int) (*CoarseBenchReport, error) {
 		K:                   cfg.K,
 		Candidates:          cfg.Candidates,
 		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		CPUs:                runtime.NumCPU(),
 		CandidatesIdentical: true,
 	}
 

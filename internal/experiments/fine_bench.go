@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"sort"
+	"time"
+
+	"nucleodb/internal/core"
+	"nucleodb/internal/index"
+)
+
+// FineBenchRun is one (kernel, worker-count) cell of the fine-phase
+// sweep: fine-stage and whole-query wall time, DP throughput, and the
+// two speedup axes — kernel (versus scalar at the same worker count)
+// and parallel (versus one worker on the same kernel).
+type FineBenchRun struct {
+	Kernel      string  `json:"kernel"`
+	Workers     int     `json:"workers"`
+	FineTotalUS float64 `json:"fine_total_us"`
+	FineMeanUS  float64 `json:"fine_mean_us"`
+	QueryMeanUS float64 `json:"query_mean_us"`
+	// FineCellsPerUS is DP cells evaluated per microsecond of fine
+	// wall time — the kernel's throughput, directly comparable across
+	// kernels because both count full-matrix cells.
+	FineCellsPerUS float64 `json:"fine_cells_per_us"`
+	// KernelSpeedup is the scalar kernel's fine time at this worker
+	// count over this run's fine time (1.0 for scalar rows).
+	KernelSpeedup float64 `json:"kernel_speedup"`
+	// ParallelSpeedup is this kernel's one-worker fine time over this
+	// run's fine time (1.0 for one-worker rows).
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+	// BitvectorAlignments counts fine alignments the bit-parallel
+	// kernel actually scored across the workload (0 on scalar rows;
+	// equal to the alignment count on bitvector rows unless the
+	// capacity fallback fired).
+	BitvectorAlignments int64 `json:"bitvector_alignments"`
+}
+
+// FineBenchReport is the kernel×workers fine-phase trajectory
+// `cafe-bench -fine` emits (committed as BENCH_fine.json). Like the
+// coarse report, it doubles as an equivalence smoke: every cell must
+// return byte-identical results to the serial scalar reference, and
+// cafe-bench exits nonzero when ResultsIdentical is false.
+type FineBenchReport struct {
+	Seed       int `json:"seed"`
+	Bases      int `json:"bases"`
+	Sequences  int `json:"sequences"`
+	Queries    int `json:"queries"`
+	QueryLen   int `json:"query_len"`
+	K          int `json:"k"`
+	Candidates int `json:"candidates"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// CPUs is runtime.NumCPU of the bench machine; parallel rows with
+	// Workers > CPUs measure scheduling overhead, not speedup.
+	CPUs int            `json:"cpus"`
+	Runs []FineBenchRun `json:"runs"`
+	// ResultsIdentical reports whether every cell reproduced the
+	// serial scalar results exactly (IDs, scores, spans, transcripts).
+	ResultsIdentical bool `json:"results_identical"`
+}
+
+// KernelSpeedupAt returns the bitvector kernel's speedup over scalar
+// at the given worker count, or 0 when the report has no such row.
+func (r *FineBenchReport) KernelSpeedupAt(workers int) float64 {
+	for _, run := range r.Runs {
+		if run.Kernel == "bitvector" && run.Workers == workers {
+			return run.KernelSpeedup
+		}
+	}
+	return 0
+}
+
+// FineBench measures the fine phase under FineFull for every kernel ×
+// worker-count cell (default workers 1, 2, 4, GOMAXPROCS —
+// deduplicated; kernels scalar and bitvector) on the standard
+// workload, verifying each cell reproduces the serial scalar results
+// exactly. Each cell runs the whole workload repeatedly and keeps the
+// fastest pass, damping scheduler noise.
+func FineBench(cfg Config, workerCounts []int) (*FineBenchReport, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	}
+	seen := map[int]bool{}
+	counts := []int{1}
+	seen[1] = true
+	for _, w := range workerCounts {
+		if w < 1 {
+			w = 1
+		}
+		if !seen[w] {
+			seen[w] = true
+			counts = append(counts, w)
+		}
+	}
+	sort.Ints(counts)
+
+	env, err := NewEnv(cfg, cfg.BaseBases)
+	if err != nil {
+		return nil, err
+	}
+	idx, _, err := env.BuildIndex(index.Options{K: cfg.K, StoreOffsets: true})
+	if err != nil {
+		return nil, err
+	}
+	searcher, err := core.NewSearcher(idx, env.Store, env.Scoring)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.DefaultOptions()
+	opts.Candidates = cfg.Candidates
+	opts.Limit = cfg.TopN
+	opts.FineMode = core.FineFull // the kernels differ only on the full-matrix path
+
+	const repeats = 3
+	nq := len(env.Queries)
+	if nq == 0 {
+		nq = 1
+	}
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+	report := &FineBenchReport{
+		Seed:             int(cfg.Seed),
+		Bases:            env.TotalBases(),
+		Sequences:        env.Store.Len(),
+		Queries:          len(env.Queries),
+		QueryLen:         cfg.QueryLen,
+		K:                cfg.K,
+		Candidates:       cfg.Candidates,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		CPUs:             runtime.NumCPU(),
+		ResultsIdentical: true,
+	}
+
+	kernels := []core.FineKernel{core.FineKernelScalar, core.FineKernelBitvector}
+	var refResults [][]core.Result
+	scalarFine := map[int]time.Duration{} // workers → scalar fine time
+	serialFine := map[string]time.Duration{}
+	for _, kernel := range kernels {
+		for _, workers := range counts {
+			wopts := opts
+			wopts.FineKernel = kernel
+			if workers > 1 {
+				wopts.FineWorkers = workers
+			}
+			var bestFine, bestTotal time.Duration
+			var cells, bvAligns int64
+			var results [][]core.Result
+			for rep := 0; rep < repeats; rep++ {
+				var fine, total time.Duration
+				cells, bvAligns = 0, 0
+				pass := make([][]core.Result, len(env.Queries))
+				var st core.SearchStats
+				for qi := range env.Queries {
+					rs, err := searcher.SearchWithStats(env.Queries[qi].Codes, wopts, &st)
+					if err != nil {
+						return nil, err
+					}
+					fine += st.FineTime
+					total += st.TotalTime
+					cells += st.FineDPCells
+					bvAligns += int64(st.BitvectorAlignments)
+					pass[qi] = rs
+				}
+				if rep == 0 || fine < bestFine {
+					bestFine = fine
+				}
+				if rep == 0 || total < bestTotal {
+					bestTotal = total
+				}
+				results = pass
+			}
+			if refResults == nil {
+				refResults = results // scalar × 1 worker: the reference
+			} else if !reflect.DeepEqual(results, refResults) {
+				report.ResultsIdentical = false
+			}
+			if kernel == core.FineKernelScalar {
+				scalarFine[workers] = bestFine
+			}
+			if workers == 1 {
+				serialFine[kernel.String()] = bestFine
+			}
+			kernelSpeedup, parallelSpeedup := 1.0, 1.0
+			if bestFine > 0 {
+				if base, ok := scalarFine[workers]; ok {
+					kernelSpeedup = float64(base) / float64(bestFine)
+				}
+				if base, ok := serialFine[kernel.String()]; ok {
+					parallelSpeedup = float64(base) / float64(bestFine)
+				}
+			}
+			cellsPerUS := 0.0
+			if bestFine > 0 {
+				cellsPerUS = float64(cells) / us(bestFine)
+			}
+			report.Runs = append(report.Runs, FineBenchRun{
+				Kernel:              kernel.String(),
+				Workers:             workers,
+				FineTotalUS:         us(bestFine),
+				FineMeanUS:          us(bestFine) / float64(nq),
+				QueryMeanUS:         us(bestTotal) / float64(nq),
+				FineCellsPerUS:      cellsPerUS,
+				KernelSpeedup:       kernelSpeedup,
+				ParallelSpeedup:     parallelSpeedup,
+				BitvectorAlignments: bvAligns,
+			})
+		}
+	}
+	return report, nil
+}

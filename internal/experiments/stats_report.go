@@ -89,6 +89,7 @@ func Observe(cfg Config) (*StatsReport, error) {
 			"coarse_shards":        int64(agg.CoarseShards),
 			"prescreen_rejections": int64(agg.PrescreenRejections),
 			"fine_alignments":      int64(agg.FineAlignments),
+			"bitvector_alignments": int64(agg.BitvectorAlignments),
 			"traceback_alignments": int64(agg.TracebackAlignments),
 			"fine_dp_cells":        agg.FineDPCells,
 			"traceback_dp_cells":   agg.TracebackDPCells,

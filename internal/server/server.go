@@ -229,6 +229,7 @@ type searchRequest struct {
 	Band       *int   `json:"band"`
 	Strands    *bool  `json:"strands"`
 	Exact      *bool  `json:"exact"`
+	FineKernel string `json:"fine_kernel"`
 	Timeout    string `json:"timeout"`
 	Stats      bool   `json:"stats"`
 	NoCache    bool   `json:"nocache"`
@@ -268,7 +269,7 @@ func parseSearchRequest(r *http.Request) (searchRequest, error) {
 		if err := dec.Decode(&req); err != nil {
 			return req, fmt.Errorf("decoding JSON body: %w", err)
 		}
-		return req, nil
+		return req, validFineKernel(req.FineKernel)
 	}
 	q := r.URL.Query()
 	req.Query = q.Get("q")
@@ -308,8 +309,22 @@ func parseSearchRequest(r *http.Request) (searchRequest, error) {
 		return req, err
 	}
 	req.NoCache = b != nil && *b
+	req.FineKernel = q.Get("fine_kernel")
+	if err := validFineKernel(req.FineKernel); err != nil {
+		return req, err
+	}
 	req.Timeout = q.Get("timeout")
 	return req, nil
+}
+
+// validFineKernel rejects unknown fine_kernel values at the request
+// boundary, with a friendlier message than the engine's validation.
+func validFineKernel(v string) error {
+	switch v {
+	case "", "auto", "scalar", "bitvector":
+		return nil
+	}
+	return fmt.Errorf("parameter fine_kernel=%q must be auto, scalar or bitvector", v)
 }
 
 // options resolves the request's search options over the server
@@ -337,6 +352,9 @@ func (s *Server) options(req searchRequest) nucleodb.SearchOptions {
 	if req.Exact != nil {
 		opts.Exact = *req.Exact
 	}
+	if req.FineKernel != "" {
+		opts.FineKernel = req.FineKernel
+	}
 	return opts
 }
 
@@ -362,9 +380,10 @@ func (s *Server) timeout(req searchRequest) (time.Duration, error) {
 // cacheKey builds the result-cache key: the canonical query letters
 // (encode/decode normalises case and U→T) plus every option that
 // affects the answer. Execution knobs that are proven result-neutral
-// (CoarseWorkers, FineWorkers — the equivalence property tests lock in
-// byte-identical output) are deliberately excluded, so serial and
-// sharded configurations share cache entries.
+// (CoarseWorkers, FineWorkers, FineKernel — the equivalence property
+// tests lock in byte-identical output) are deliberately excluded, so
+// serial, sharded and bitvector-kernel configurations share cache
+// entries.
 func cacheKey(canonical string, opts nucleodb.SearchOptions) string {
 	return fmt.Sprintf("%s|%d|%d|%t|%t|%d|%d|%d|%t|%d",
 		canonical, opts.Candidates, opts.MinCoarseHits, opts.Diagonal, opts.Exact,

@@ -317,6 +317,11 @@ type SearchOptions struct {
 	Exact bool
 	// Band is the banded aligner's half-width when Exact is false.
 	Band int
+	// FineKernel selects the fine-phase scoring kernel: "" or "auto"
+	// (bit-parallel under Exact, scalar under the banded default),
+	// "scalar", or "bitvector" (Exact searches only). Results are
+	// byte-identical whichever kernel runs; only speed differs.
+	FineKernel string
 	// MinScore discards alignments below this score.
 	MinScore int
 	// Limit truncates the result list; 0 keeps everything.
@@ -362,11 +367,23 @@ func (o SearchOptions) internal() core.Options {
 	if o.Exact {
 		fine = core.FineFull
 	}
+	var kernel core.FineKernel
+	switch o.FineKernel {
+	case "", "auto":
+		kernel = core.FineKernelAuto
+	case "scalar":
+		kernel = core.FineKernelScalar
+	case "bitvector":
+		kernel = core.FineKernelBitvector
+	default:
+		kernel = core.FineKernel(-1) // rejected by core's validation
+	}
 	return core.Options{
 		Candidates:    o.Candidates,
 		MinCoarseHits: o.MinCoarseHits,
 		CoarseMode:    mode,
 		FineMode:      fine,
+		FineKernel:    kernel,
 		Band:          o.Band,
 		MinScore:      o.MinScore,
 		Limit:         o.Limit,
@@ -445,6 +462,13 @@ type SearchStats struct {
 	// FineAlignments is the number of fine-phase alignments run; at
 	// most CoarseCandidates.
 	FineAlignments int `json:"fine_alignments"`
+	// BitvectorAlignments is the number of fine alignments scored by
+	// the bit-parallel kernel (the rest ran the scalar kernel, by
+	// configuration or as the lane-capacity fallback).
+	BitvectorAlignments int `json:"bitvector_alignments"`
+	// FineKernel is the resolved fine kernel ("scalar" or
+	// "bitvector"); "mixed" after aggregating searches that disagree.
+	FineKernel string `json:"fine_kernel"`
 	// TracebackAlignments is the number of deferred tracebacks run for
 	// reported results.
 	TracebackAlignments int `json:"traceback_alignments"`
@@ -481,6 +505,13 @@ func (s *SearchStats) Add(o SearchStats) {
 	s.CoarseShards += o.CoarseShards
 	s.PrescreenRejections += o.PrescreenRejections
 	s.FineAlignments += o.FineAlignments
+	s.BitvectorAlignments += o.BitvectorAlignments
+	switch {
+	case s.FineKernel == "":
+		s.FineKernel = o.FineKernel
+	case o.FineKernel != "" && o.FineKernel != s.FineKernel:
+		s.FineKernel = "mixed"
+	}
 	s.TracebackAlignments += o.TracebackAlignments
 	s.FineDPCells += o.FineDPCells
 	s.TracebackDPCells += o.TracebackDPCells
@@ -504,6 +535,8 @@ func searchStatsFrom(cs core.SearchStats) SearchStats {
 		CoarseShards:        cs.CoarseShards,
 		PrescreenRejections: cs.PrescreenRejections,
 		FineAlignments:      cs.FineAlignments,
+		BitvectorAlignments: cs.BitvectorAlignments,
+		FineKernel:          cs.FineKernel,
 		TracebackAlignments: cs.TracebackAlignments,
 		FineDPCells:         cs.FineDPCells,
 		TracebackDPCells:    cs.TracebackDPCells,
@@ -526,6 +559,7 @@ var (
 	mCoarseShards     = metrics.Default().Counter("coarse_shards_total")
 	mPrescreenRejects = metrics.Default().Counter("prescreen_rejections_total")
 	mFineAlignments   = metrics.Default().Counter("fine_alignments_total")
+	mBitvectorAligns  = metrics.Default().Counter("fine_bitvector_alignments_total")
 	mTracebacks       = metrics.Default().Counter("traceback_alignments_total")
 	mDPCells          = metrics.Default().Counter("dp_cells_total")
 	mResults          = metrics.Default().Counter("results_total")
@@ -544,6 +578,7 @@ func recordSearchMetrics(st SearchStats) {
 	mCoarseShards.Add(int64(st.CoarseShards))
 	mPrescreenRejects.Add(int64(st.PrescreenRejections))
 	mFineAlignments.Add(int64(st.FineAlignments))
+	mBitvectorAligns.Add(int64(st.BitvectorAlignments))
 	mTracebacks.Add(int64(st.TracebackAlignments))
 	mDPCells.Add(st.DPCells())
 	mResults.Add(int64(st.Results))
