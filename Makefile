@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench bench-json check lint lint-baseline lint-sarif fuzz-smoke serve-smoke examples experiments fmt vet clean
+.PHONY: all build test test-race cover bench bench-json check lint lint-baseline lint-sarif lint-budget fuzz-smoke serve-smoke examples experiments fmt vet clean
 
 all: build test
 
@@ -60,10 +60,12 @@ check: lint
 
 # cafe-lint enforces the //cafe:hotpath allocation contract, checked
 # errors in the decode packages, nil-guarded SearchStats writes,
-# consistent sync/atomic field access, context propagation, and
-# tracked goroutines. lint.baseline suppresses adopted findings (it is
-# empty today — keep it that way); regenerate with `make lint-baseline`
-# only when deliberately adopting a finding.
+# consistent sync/atomic field access, context propagation, tracked
+# goroutines, and — through the dataflow passes — that pooled scratch
+# (//cafe:pooled) never escapes and no append/slice view of pooled
+# backing outlives its query. lint.baseline suppresses adopted findings
+# (it is empty today — keep it that way); regenerate with
+# `make lint-baseline` only when deliberately adopting a finding.
 lint:
 	$(GO) run ./cmd/cafe-lint -baseline lint.baseline ./...
 
@@ -74,6 +76,19 @@ lint-baseline:
 # the log, so `make lint-sarif` only hard-fails on load errors.
 lint-sarif:
 	$(GO) run ./cmd/cafe-lint -format sarif -baseline lint.baseline ./... > cafe-lint.sarif || [ $$? -eq 1 ]
+
+# Wall-clock budget for the full lint suite, in seconds. The JSON
+# report carries per-pass timings (pass_timings), so a budget failure
+# names the slow pass instead of just the slow run.
+LINT_BUDGET ?= 120
+
+lint-budget:
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/cafe-lint -format json -baseline lint.baseline ./... > cafe-lint.json || [ $$? -eq 1 ]; \
+	end=$$(date +%s); took=$$((end - start)); \
+	grep -A 40 '"pass_timings"' cafe-lint.json || true; \
+	echo "lint wall clock: $${took}s (budget $(LINT_BUDGET)s)"; \
+	[ $$took -le $(LINT_BUDGET) ]
 
 # ~10s total: each native fuzz target gets 2s of mutation on top of its
 # committed corpus. CI-sized; run `go test -fuzz` locally for real runs.

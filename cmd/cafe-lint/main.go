@@ -83,8 +83,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	findings := analysis.Analyze(prog, analysis.DefaultPasses(), keep)
+	findings, timings := analysis.AnalyzeTimed(prog, analysis.DefaultPasses(), keep)
 	report := analysis.NewReport(prog, findings)
+	report.Timings = timings
 
 	if *writeBaseline {
 		f, err := os.Create(*baselinePath)

@@ -3,10 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files with the current output")
 
 const (
 	fixtureModule = "../../internal/analysis/testdata/src/fixture"
@@ -113,6 +117,36 @@ func TestRunFormatSARIF(t *testing.T) {
 	errb.Reset()
 	if code := run([]string{"-C", fixtureModule, "-format", "yaml", "./..."}, &out, &errb); code != 2 {
 		t.Errorf("exit %d on an unknown format, want 2", code)
+	}
+}
+
+// TestRunSARIFGolden locks the exact SARIF 2.1.0 log for the dataflow
+// fixture packages against a committed golden file: rule metadata,
+// rule indices, relative URIs, and finding order are all part of the
+// contract a code-scanning backend sees. Regenerate with
+//
+//	go test ./cmd/cafe-lint -run TestRunSARIFGolden -update
+func TestRunSARIFGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", fixtureModule, "-format", "sarif", "./poolesc", "./aliaspkg"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	golden := filepath.Join("testdata", "sarif.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("SARIF output drifted from %s (regenerate with -update):\ngot:\n%s\nwant:\n%s",
+			golden, out.String(), want)
 	}
 }
 

@@ -43,7 +43,7 @@ func main() {
 		candidates = flag.Int("candidates", 100, "coarse-phase candidate budget")
 		limit      = flag.Int("limit", 20, "answers per query")
 		exact      = flag.Bool("exact", false, "exact (unbanded) fine alignment")
-	fineKernel = flag.String("fine-kernel", "auto", "fine scoring kernel: auto, scalar, or bitvector (bit-parallel; -exact only)")
+		fineKernel = flag.String("fine-kernel", "auto", "fine scoring kernel: auto, scalar, or bitvector (bit-parallel; -exact only)")
 		diagonal   = flag.Bool("diagonal", false, "diagonal coarse ranking (needs offsets)")
 		minScore   = flag.Int("minscore", 1, "minimum alignment score")
 		strands    = flag.Bool("strands", false, "search both strands")

@@ -68,7 +68,7 @@ func laneMax(x, y uint64) uint64 {
 // direction) column. One scratch belongs to one goroutine at a time;
 // the fine phase pools one per worker.
 type StripedScratch struct {
-	cur, prev, e []uint64
+	cur, prev, e []uint64 //cafe:pooled DP columns, resized and reused across subjects by one worker
 }
 
 // resize prepares the scratch for segLen words, growing once at the

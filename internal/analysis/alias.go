@@ -1,0 +1,28 @@
+package analysis
+
+// AliasPass reports append/slice expressions whose base is pooled and
+// whose result escapes — the derived view shares the pool's backing
+// array without being the pooled object, so the next pool user
+// scribbles over memory a caller still holds. This is exactly the
+// PR-5 both-strands merge bug (append(forward, reverse...) handed the
+// merged results out on pooled backing), reproduced as a seeded
+// fixture in testdata/src/fixture/aliaspkg.
+//
+// Findings anchor at the append/slice site that created the view, not
+// at the sink: that is the line where the copy belongs. The pass runs
+// on the same dataflow as poolescape (see poolescape.go for sources,
+// sinks, and limits); the two report disjoint fact components.
+type AliasPass struct {
+	Shared *PoolShared
+}
+
+// Name implements Pass.
+func (p *AliasPass) Name() string { return "alias" }
+
+// Run implements Pass.
+func (p *AliasPass) Run(prog *Program, pkg *Package) []Finding {
+	if p.Shared == nil {
+		p.Shared = &PoolShared{}
+	}
+	return p.Shared.analyze(prog, pkg).alias
+}

@@ -2,7 +2,7 @@
 // analysis suite over the index and alignment kernels, built on the
 // standard library's go/parser, go/ast and go/types only.
 //
-// Six passes enforce the invariants the partitioned-search design
+// Eight passes enforce the invariants the partitioned-search design
 // depends on:
 //
 //   - hotpath: functions declared with a //cafe:hotpath directive (the
@@ -33,6 +33,16 @@
 //     channel it selects on, or a channel it signals that the spawning
 //     function drains. Anything else is a potential leak past the
 //     server's drain path.
+//   - poolescape: values from (*sync.Pool).Get, //cafe:pooled
+//     functions, or //cafe:pooled struct fields must not outlive the
+//     call that obtained them — no returns, field/global/container
+//     stores, channel sends, unjoined goroutine captures, or calls
+//     that retain them — unless copied first. Flow-sensitive, built
+//     on the CFG + forward dataflow engine in cfg.go/dataflow.go with
+//     one level of interprocedural summaries (summary.go).
+//   - alias: append/slice views over pooled backing must not escape —
+//     the PR-5 both-strands merge bug shape, reported at the
+//     append/slice site where the copy belongs.
 //
 // A finding on one line can be waived with a trailing
 // "//cafe:allow <reason>" comment; the reason is mandatory. Naming a
@@ -51,6 +61,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one diagnostic, formatted "file:line: pass: message".
@@ -105,7 +116,7 @@ type Pass interface {
 // DefaultPasses returns the pass suite configured for this repository —
 // the configuration cmd/cafe-lint and the self-check test share.
 func DefaultPasses() []Pass {
-	return []Pass{
+	passes := []Pass{
 		&HotpathPass{},
 		&ErrcheckPass{Packages: []string{
 			"nucleodb/internal/index",
@@ -123,25 +134,46 @@ func DefaultPasses() []Pass {
 		}},
 		&GoPass{},
 	}
+	// poolescape and alias run one shared dataflow between them.
+	shared := &PoolShared{}
+	return append(passes,
+		&PoolEscapePass{Shared: shared},
+		&AliasPass{Shared: shared},
+	)
 }
 
 // Analyze runs every pass over every package selected by keep (nil
 // keeps all), drops findings on //cafe:allow lines, and returns the
 // remainder sorted by position.
 func Analyze(prog *Program, passes []Pass, keep func(pkgPath string) bool) []Finding {
+	findings, _ := AnalyzeTimed(prog, passes, keep)
+	return findings
+}
+
+// AnalyzeTimed is Analyze plus per-pass wall-clock timings, in pass
+// order, accumulated across packages.
+func AnalyzeTimed(prog *Program, passes []Pass, keep func(pkgPath string) bool) ([]Finding, []PassTiming) {
 	var out []Finding
+	elapsed := make([]time.Duration, len(passes))
 	for _, pkg := range prog.Packages {
 		if keep != nil && !keep(pkg.Path) {
 			continue
 		}
 		out = append(out, pkg.badDirectives...)
-		for _, p := range passes {
-			for _, f := range p.Run(prog, pkg) {
+		for i, p := range passes {
+			start := time.Now()
+			found := p.Run(prog, pkg)
+			elapsed[i] += time.Since(start)
+			for _, f := range found {
 				if !pkg.waivedAt(f.Pos, p.Name()) {
 					out = append(out, f)
 				}
 			}
 		}
+	}
+	timings := make([]PassTiming, len(passes))
+	for i, p := range passes {
+		timings[i] = PassTiming{Pass: p.Name(), Millis: float64(elapsed[i].Nanoseconds()) / 1e6}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
@@ -153,7 +185,7 @@ func Analyze(prog *Program, passes []Pass, keep func(pkgPath string) bool) []Fin
 		}
 		return out[i].Message < out[j].Message
 	})
-	return out
+	return out, timings
 }
 
 // Directive prefixes. A directive comment has no space after "//", the
@@ -161,7 +193,14 @@ func Analyze(prog *Program, passes []Pass, keep func(pkgPath string) bool) []Fin
 const (
 	hotpathDirective = "//cafe:hotpath"
 	allowDirective   = "//cafe:allow"
+	pooledDirective  = "//cafe:pooled"
 )
+
+// isDirective reports whether comment text is the given directive,
+// bare or followed by prose.
+func isDirective(text, directive string) bool {
+	return text == directive || strings.HasPrefix(text, directive+" ")
+}
 
 // allScopes is the waiver-map key meaning "every pass": a
 // //cafe:allow whose first word names no pass waives the whole line.
@@ -219,14 +258,52 @@ func collectDirectives(prog *Program, pkg *Package) {
 				continue
 			}
 			for _, c := range fd.Doc.List {
-				if c.Text == hotpathDirective || strings.HasPrefix(c.Text, hotpathDirective+" ") {
+				if isDirective(c.Text, hotpathDirective) {
 					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
 						prog.hot[obj] = true
 					}
 				}
+				if isDirective(c.Text, pooledDirective) {
+					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						prog.pooledFns[obj] = true
+					}
+				}
 			}
 		}
+		// //cafe:pooled on struct fields: the field holds pool-owned
+		// memory. Both doc comments above the field and trailing line
+		// comments count.
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				if !commentGroupHas(fld.Doc, pooledDirective) && !commentGroupHas(fld.Comment, pooledDirective) {
+					continue
+				}
+				for _, name := range fld.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						prog.pooledFields[v] = true
+					}
+				}
+			}
+			return true
+		})
 	}
+}
+
+// commentGroupHas reports whether any comment in cg is the directive.
+func commentGroupHas(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if isDirective(c.Text, directive) {
+			return true
+		}
+	}
+	return false
 }
 
 // waivedAt reports whether pos lies on a //cafe:allow line whose scope

@@ -137,6 +137,27 @@ func TestGoPassFixtures(t *testing.T) {
 	runPass(t, &analysis.GoPass{}, "fixture/gor")
 }
 
+func TestPoolEscapePassFixtures(t *testing.T) {
+	runPass(t, &analysis.PoolEscapePass{}, "fixture/poolesc")
+}
+
+func TestAliasPassFixtures(t *testing.T) {
+	runPass(t, &analysis.AliasPass{}, "fixture/aliaspkg")
+}
+
+// TestPoolPassesDisjoint checks the fact partition: the poolescape
+// pass must stay silent on the aliasing fixtures (views are not the
+// pooled object) and the alias pass on the direct-escape fixtures.
+func TestPoolPassesDisjoint(t *testing.T) {
+	prog := loadFixture(t)
+	if f := analysis.Analyze(prog, []analysis.Pass{&analysis.PoolEscapePass{}}, keepOnly("fixture/aliaspkg")); len(f) > 0 {
+		t.Errorf("poolescape findings in the alias fixture package:\n%s", strings.Join(analysis.Format(prog, f), "\n"))
+	}
+	if f := analysis.Analyze(prog, []analysis.Pass{&analysis.AliasPass{}}, keepOnly("fixture/poolesc")); len(f) > 0 {
+		t.Errorf("alias findings in the poolescape fixture package:\n%s", strings.Join(analysis.Format(prog, f), "\n"))
+	}
+}
+
 // TestCtxPassScope checks that Background/TODO are only forbidden in
 // the configured packages: with no ForbidBackgroundIn, only the
 // sibling-call violations remain.

@@ -1,0 +1,352 @@
+package analysis
+
+// A lightweight intraprocedural control-flow graph over one function
+// body, built from the AST alone. Statements land in basic blocks in
+// execution order; structured control flow (if/for/range/switch/
+// select, break/continue with and without labels, fallthrough,
+// return) produces the edges. The graph is the substrate of the
+// forward dataflow engine in dataflow.go and deliberately stays
+// simple: goto is over-approximated with an edge to Exit (the module
+// has none), and panics do not cut the fall-through edge — both are
+// safe directions for the may-analyses built on top.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: a run of nodes that execute in order, and
+// the blocks control can reach next.
+type Block struct {
+	// Index is the block's position in CFG.Blocks, for stable display.
+	Index int
+	// Nodes are statements and the expressions evaluated for control
+	// decisions (if/for conditions, switch tags, case expressions), in
+	// execution order. Compound statements never appear here — their
+	// pieces are distributed over blocks — with one exception: a
+	// *ast.RangeStmt node stands for "evaluate X, bind Key/Value", and
+	// consumers must not descend into its Body.
+	Nodes []ast.Node
+	// Succs are the possible successors.
+	Succs []*Block
+	// Preds are the possible predecessors.
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Entry is executed first; Exit is reached by every return and by
+	// falling off the end.
+	Entry, Exit *Block
+	// Blocks holds every block, Entry and Exit included.
+	Blocks []*Block
+}
+
+// BuildCFG constructs the control-flow graph of body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		g:         &CFG{},
+		labelBrk:  map[string]*Block{},
+		labelCont: map[string]*Block{},
+	}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmts(body.List)
+	b.jump(b.g.Exit)
+	return b.g
+}
+
+type cfgBuilder struct {
+	g   *CFG
+	cur *Block // nil while the current point is unreachable
+
+	// break/continue target stacks for the innermost enclosing
+	// loop/switch/select, plus label-resolved targets.
+	brk, cont    []*Block
+	labelBrk     map[string]*Block
+	labelCont    map[string]*Block
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jump ends the current block with an edge to target and marks the
+// point unreachable until the next start.
+func (b *cfgBuilder) jump(target *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, target)
+	}
+	b.cur = nil
+}
+
+func (b *cfgBuilder) start(blk *Block) { b.cur = blk }
+
+// add appends a node to the current block. Unreachable statements get
+// a fresh predecessor-less block: they are still analyzed, with empty
+// in-state.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// ensure returns the current block, materializing one if the point
+// was unreachable.
+func (b *cfgBuilder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+// pushLoop records break/continue targets (and the pending label, if
+// the loop was labeled).
+func (b *cfgBuilder) pushLoop(brkTo, contTo *Block) (label string) {
+	b.brk = append(b.brk, brkTo)
+	b.cont = append(b.cont, contTo)
+	label = b.pendingLabel
+	b.pendingLabel = ""
+	if label != "" {
+		b.labelBrk[label] = brkTo
+		if contTo != nil {
+			b.labelCont[label] = contTo
+		}
+	}
+	return label
+}
+
+func (b *cfgBuilder) popLoop(label string) {
+	b.brk = b.brk[:len(b.brk)-1]
+	b.cont = b.cont[:len(b.cont)-1]
+	if label != "" {
+		delete(b.labelBrk, label)
+		delete(b.labelCont, label)
+	}
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		then := b.newBlock()
+		after := b.newBlock()
+		b.edge(cond, then)
+		var elseEntry *Block
+		if s.Else != nil {
+			elseEntry = b.newBlock()
+			b.edge(cond, elseEntry)
+		} else {
+			b.edge(cond, after)
+		}
+		b.start(then)
+		b.stmts(s.Body.List)
+		b.jump(after)
+		if s.Else != nil {
+			b.start(elseEntry)
+			b.stmt(s.Else)
+			b.jump(after)
+		}
+		b.start(after)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.jump(head)
+		b.start(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body := b.newBlock()
+		post := b.newBlock()
+		after := b.newBlock()
+		b.edge(b.cur, body)
+		if s.Cond != nil {
+			b.edge(b.cur, after)
+		}
+		label := b.pushLoop(after, post)
+		b.start(body)
+		b.stmts(s.Body.List)
+		b.jump(post)
+		b.popLoop(label)
+		b.start(post)
+		if s.Post != nil {
+			b.add(s.Post)
+		}
+		b.jump(head)
+		b.start(after)
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.jump(head)
+		b.start(head)
+		b.add(s) // evaluate X, bind Key/Value; Body is NOT part of this node
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(b.cur, body)
+		b.edge(b.cur, after)
+		label := b.pushLoop(after, head)
+		b.start(body)
+		b.stmts(s.Body.List)
+		b.jump(head)
+		b.popLoop(label)
+		b.start(after)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(s.Body.List, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(s.Body.List, nil)
+
+	case *ast.SelectStmt:
+		head := b.ensure()
+		after := b.newBlock()
+		label := b.pushLoop(after, nil)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			body := b.newBlock()
+			b.edge(head, body)
+			b.start(body)
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmts(cc.Body)
+			b.jump(after)
+		}
+		if len(s.Body.List) == 0 {
+			// Empty select blocks forever; no edge to after.
+			b.cur = nil
+		}
+		b.popLoop(label)
+		b.start(after)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			target := b.g.Exit
+			if s.Label != nil {
+				if t := b.labelBrk[s.Label.Name]; t != nil {
+					target = t
+				}
+			} else if len(b.brk) > 0 {
+				target = b.brk[len(b.brk)-1]
+			}
+			b.jump(target)
+		case token.CONTINUE:
+			target := b.g.Exit
+			if s.Label != nil {
+				if t := b.labelCont[s.Label.Name]; t != nil {
+					target = t
+				}
+			} else {
+				// Nearest enclosing loop: switch/select push nil
+				// continue targets, which continue skips past.
+				for i := len(b.cont) - 1; i >= 0; i-- {
+					if b.cont[i] != nil {
+						target = b.cont[i]
+						break
+					}
+				}
+			}
+			b.jump(target)
+		case token.GOTO:
+			// Unsupported precisely; an edge to Exit keeps the graph
+			// sound for forward may-analyses (facts simply stop here).
+			b.jump(b.g.Exit)
+		case token.FALLTHROUGH:
+			// Handled by switchClauses via endsInFallthrough.
+		}
+
+	default:
+		// Assign, expr, send, go, defer, incdec, decl, empty.
+		b.add(s)
+	}
+}
+
+// switchClauses wires the case-clause bodies of a (type) switch: every
+// clause is entered from the head, fallthrough chains clause bodies,
+// and a missing default adds the skip edge.
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, _ *Block) {
+	head := b.ensure()
+	after := b.newBlock()
+	label := b.pushLoop(after, nil)
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(head, bodies[i])
+		b.start(bodies[i])
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.stmts(cc.Body)
+		if endsInFallthrough(cc.Body) && i+1 < len(clauses) {
+			b.jump(bodies[i+1])
+		} else {
+			b.jump(after)
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.popLoop(label)
+	b.start(after)
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}

@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// parseFunc type-checks src (one file of package p) and returns the
+// named function's declaration plus the type info.
+func parseFunc(t *testing.T, src, name string) (*ast.FuncDecl, *types.Info, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd, info, fset
+		}
+	}
+	t.Fatalf("no func %s in src", name)
+	return nil, nil, nil
+}
+
+// reachable walks the graph from entry.
+func reachable(g *CFG) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+func TestBuildCFGShapes(t *testing.T) {
+	src := `package p
+
+func diamond(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	} else {
+		x = 3
+	}
+	return x
+}
+
+func loop(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 7 {
+			break
+		}
+		s += i
+	}
+	return s
+}
+
+func sw(n int) string {
+	switch n {
+	case 0:
+		return "zero"
+	case 1:
+		fallthrough
+	case 2:
+		return "small"
+	}
+	for range 3 {
+		n++
+	}
+	return "big"
+}
+`
+	for _, name := range []string{"diamond", "loop", "sw"} {
+		fd, _, _ := parseFunc(t, src, name)
+		g := BuildCFG(fd.Body)
+		seen := reachable(g)
+		if !seen[g.Exit] {
+			t.Errorf("%s: exit not reachable from entry", name)
+		}
+		for _, b := range g.Blocks {
+			for _, s := range b.Succs {
+				foundPred := false
+				for _, p := range s.Preds {
+					if p == b {
+						foundPred = true
+					}
+				}
+				if !foundPred {
+					t.Errorf("%s: edge %d->%d missing back-pointer", name, b.Index, s.Index)
+				}
+			}
+		}
+	}
+
+	// The loop must contain a cycle (a reachable block that can reach
+	// itself) — straight-line lowering would hide the fixpoint.
+	fd, _, _ := parseFunc(t, src, "loop")
+	g := BuildCFG(fd.Body)
+	hasCycle := false
+	for _, b := range reachableList(g) {
+		if reachesItself(b) {
+			hasCycle = true
+		}
+	}
+	if !hasCycle {
+		t.Error("loop: CFG has no cycle")
+	}
+}
+
+func reachableList(g *CFG) []*Block {
+	var out []*Block
+	for b := range reachable(g) {
+		out = append(out, b)
+	}
+	return out
+}
+
+func reachesItself(start *Block) bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block) bool
+	walk = func(b *Block) bool {
+		for _, s := range b.Succs {
+			if s == start {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				if walk(s) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(start)
+}
+
+// TestForwardFlowMayJoin drives the engine with a toy taint transfer:
+// a branch that may re-taint x must leave the fact alive at the join,
+// while a straight-line strong update must kill it.
+func TestForwardFlowMayJoin(t *testing.T) {
+	src := `package p
+
+func mayTaint(c bool) []byte {
+	x := make([]byte, 1) // taint
+	x = make([]byte, 2) // clean
+	if c {
+		x = make([]byte, 1) // taint
+	}
+	return x
+}
+`
+	fd, info, _ := parseFunc(t, src, "mayTaint")
+	g := BuildCFG(fd.Body)
+
+	// taint = assignments whose RHS ends in the comment-free marker:
+	// we tag by the make() size literal (1 = taint, 2 = clean).
+	transfer := func(st FlowState, n ast.Node) {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok || len(a.Lhs) != 1 || len(a.Rhs) != 1 {
+			return
+		}
+		id, ok := a.Lhs[0].(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		call, ok := a.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return
+		}
+		lit, ok := call.Args[1].(*ast.BasicLit)
+		if !ok {
+			return
+		}
+		st.set(obj, Fact{Pooled: lit.Value == "1"})
+	}
+	in := ForwardFlow(g, FlowState{}, transfer)
+
+	// Find the block holding the return statement and replay to it.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				continue
+			}
+			st := in[b].clone()
+			// No other nodes precede the return in its block here.
+			id := ret.Results[0].(*ast.Ident)
+			obj := info.Uses[id]
+			if !st[obj].Pooled {
+				t.Error("fact killed at the join: branch re-taint lost")
+			}
+		}
+	}
+
+	// Same function without the branch: the strong update must kill.
+	src2 := `package p
+
+func clean() []byte {
+	x := make([]byte, 1)
+	x = make([]byte, 2)
+	return x
+}
+`
+	fd2, info2, _ := parseFunc(t, src2, "clean")
+	g2 := BuildCFG(fd2.Body)
+	in2 := ForwardFlow(g2, FlowState{}, func(st FlowState, n ast.Node) {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		id := a.Lhs[0].(*ast.Ident)
+		obj := info2.Defs[id]
+		if obj == nil {
+			obj = info2.Uses[id]
+		}
+		call := a.Rhs[0].(*ast.CallExpr)
+		lit := call.Args[1].(*ast.BasicLit)
+		st.set(obj, Fact{Pooled: lit.Value == "1"})
+	})
+	for _, b := range g2.Blocks {
+		st := in2[b]
+		if st == nil {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				id := ret.Results[0].(*ast.Ident)
+				if st[info2.Uses[id]].Pooled {
+					t.Error("strong update did not kill the fact")
+				}
+			}
+		}
+	}
+}

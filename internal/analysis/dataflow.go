@@ -1,0 +1,158 @@
+package analysis
+
+// A small forward dataflow engine over the CFG of cfg.go. The engine
+// is a may-analysis: block in-states are joined by union, and the
+// transfer function is run to fixpoint with a worklist. Facts form a
+// finite join-semilattice per function (booleans, a 64-bit parameter
+// set, and a set of alias sites bounded by the function's source
+// positions), so the fixpoint terminates.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Fact is what the pooled-buffer analyses know about one variable at
+// one program point.
+type Fact struct {
+	// Pooled marks memory owned by a pool: the result of
+	// (*sync.Pool).Get, of a //cafe:pooled function, or the value of a
+	// //cafe:pooled struct field.
+	Pooled bool
+	// Params is a bitset of function parameters the value may alias,
+	// used when computing per-function summaries (bit i = parameter i).
+	Params uint64
+	// Alias records the positions of append/slice expressions that
+	// derived this value from pooled backing — the PR-5 bug shape. A
+	// value with alias sites shares backing with a pool without being
+	// the pooled object itself.
+	Alias []token.Pos
+}
+
+// some reports whether the fact carries any information.
+func (f Fact) some() bool {
+	return f.Pooled || f.Params != 0 || len(f.Alias) > 0
+}
+
+// withAlias returns f extended with one alias site, dropping Pooled:
+// the derived view shares backing but is not the pooled object.
+func (f Fact) withAlias(pos token.Pos) Fact {
+	out := Fact{Params: f.Params, Alias: addPos(f.Alias, pos)}
+	return out
+}
+
+// mergeFact joins two facts (set union on every component).
+func mergeFact(a, b Fact) Fact {
+	out := Fact{
+		Pooled: a.Pooled || b.Pooled,
+		Params: a.Params | b.Params,
+		Alias:  a.Alias,
+	}
+	for _, p := range b.Alias {
+		out.Alias = addPos(out.Alias, p)
+	}
+	return out
+}
+
+// factEqual reports whether two facts carry the same information.
+func factEqual(a, b Fact) bool {
+	if a.Pooled != b.Pooled || a.Params != b.Params || len(a.Alias) != len(b.Alias) {
+		return false
+	}
+	for i := range a.Alias {
+		if a.Alias[i] != b.Alias[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// addPos inserts pos into a sorted position set.
+func addPos(set []token.Pos, pos token.Pos) []token.Pos {
+	i := sort.Search(len(set), func(i int) bool { return set[i] >= pos })
+	if i < len(set) && set[i] == pos {
+		return set
+	}
+	out := make([]token.Pos, 0, len(set)+1)
+	out = append(out, set[:i]...)
+	out = append(out, pos)
+	out = append(out, set[i:]...)
+	return out
+}
+
+// FlowState maps variables to their facts at one program point.
+// Variables without information are absent.
+type FlowState map[types.Object]Fact
+
+func (s FlowState) clone() FlowState {
+	out := make(FlowState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// set stores a fact, dropping empty facts to keep states small and
+// merges cheap.
+func (s FlowState) set(obj types.Object, f Fact) {
+	if f.some() {
+		s[obj] = f
+	} else {
+		delete(s, obj)
+	}
+}
+
+// mergeState joins src into dst and reports whether dst changed.
+func mergeState(dst, src FlowState) bool {
+	changed := false
+	for obj, f := range src {
+		old, ok := dst[obj]
+		if !ok {
+			dst[obj] = f
+			changed = true
+			continue
+		}
+		m := mergeFact(old, f)
+		if !factEqual(m, old) {
+			dst[obj] = m
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ForwardFlow runs transfer over g to fixpoint, starting from init at
+// Entry, and returns the in-state of every reached block. Blocks
+// absent from the result are unreachable (callers should treat their
+// in-state as empty). transfer must be monotone: it may only add or
+// strongly update facts as a function of the incoming state.
+func ForwardFlow(g *CFG, init FlowState, transfer func(FlowState, ast.Node)) map[*Block]FlowState {
+	in := map[*Block]FlowState{g.Entry: init.clone()}
+	queued := map[*Block]bool{g.Entry: true}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		st := in[blk].clone()
+		for _, n := range blk.Nodes {
+			transfer(st, n)
+		}
+		for _, succ := range blk.Succs {
+			changed := false
+			if in[succ] == nil {
+				in[succ] = st.clone()
+				changed = true
+			} else {
+				changed = mergeState(in[succ], st)
+			}
+			if changed && !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}

@@ -28,13 +28,15 @@ func (d Diagnostic) String() string {
 // the SARIF rule metadata and the vocabulary of pass-scoped
 // //cafe:allow directives.
 var passDescriptions = map[string]string{
-	"hotpath":   "functions declared //cafe:hotpath must stay allocation-free",
-	"errcheck":  "the decode packages must check every error; a dropped decode error is silent corruption",
-	"stats":     "SearchStats access must be nil-guarded and sync/atomic values touched only through methods",
-	"atomic":    "a struct field accessed through sync/atomic must never see a plain load or store",
-	"ctx":       "contexts must propagate: no context-free siblings from ctx-aware code, no Background/TODO in serving packages",
-	"goroutine": "goroutines must be WaitGroup-counted, Done()-cancellable, or joined through a drained channel",
-	"directive": "cafe: directives must be well-formed",
+	"hotpath":    "functions declared //cafe:hotpath must stay allocation-free",
+	"errcheck":   "the decode packages must check every error; a dropped decode error is silent corruption",
+	"stats":      "SearchStats access must be nil-guarded and sync/atomic values touched only through methods",
+	"atomic":     "a struct field accessed through sync/atomic must never see a plain load or store",
+	"ctx":        "contexts must propagate: no context-free siblings from ctx-aware code, no Background/TODO in serving packages",
+	"goroutine":  "goroutines must be WaitGroup-counted, Done()-cancellable, or joined through a drained channel",
+	"poolescape": "pooled scratch (sync.Pool.Get, //cafe:pooled sources) must not outlive the call that obtained it",
+	"alias":      "append/slice views over pooled backing must not escape; copy into a fresh buffer instead",
+	"directive":  "cafe: directives must be well-formed",
 }
 
 // validScope reports whether name may scope a //cafe:allow directive.
@@ -44,12 +46,23 @@ func validScope(name string) bool {
 	return ok && name != "directive"
 }
 
+// PassTiming is the wall-clock cost of one pass across every
+// analyzed package, for the -format json output and the CI lint
+// budget.
+type PassTiming struct {
+	Pass   string  `json:"pass"`
+	Millis float64 `json:"ms"`
+}
+
 // Report is the structured result of one lint run, ready for any of
 // the output formats.
 type Report struct {
 	Module   string       `json:"module"`
 	Count    int          `json:"count"`
 	Findings []Diagnostic `json:"findings"`
+	// Timings is per-pass wall-clock, present in JSON output when the
+	// driver measured it.
+	Timings []PassTiming `json:"pass_timings,omitempty"`
 }
 
 // NewReport converts raw findings (as returned by Analyze, already

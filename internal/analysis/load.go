@@ -73,10 +73,22 @@ type Program struct {
 
 	// hot records functions declared with a //cafe:hotpath directive.
 	hot map[*types.Func]bool
+	// pooledFns records functions declared //cafe:pooled: they hand
+	// out pool-owned scratch memory.
+	pooledFns map[*types.Func]bool
+	// pooledFields records struct fields declared //cafe:pooled: the
+	// field's value is pool-owned scratch memory.
+	pooledFields map[*types.Var]bool
 }
 
 // Hot reports whether fn was declared with a //cafe:hotpath directive.
 func (p *Program) Hot(fn *types.Func) bool { return p.hot[fn] }
+
+// PooledFunc reports whether fn was declared //cafe:pooled.
+func (p *Program) PooledFunc(fn *types.Func) bool { return p.pooledFns[fn] }
+
+// PooledField reports whether field v was declared //cafe:pooled.
+func (p *Program) PooledField(v *types.Var) bool { return p.pooledFields[v] }
 
 // InModule reports whether path names a package inside the module.
 func (p *Program) InModule(path string) bool {
@@ -187,7 +199,14 @@ func Load(root, module string) (*Program, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: walk: %w", err)
 	}
-	prog := &Program{Module: module, Root: abs, Fset: fset, hot: map[*types.Func]bool{}}
+	prog := &Program{
+		Module:       module,
+		Root:         abs,
+		Fset:         fset,
+		hot:          map[*types.Func]bool{},
+		pooledFns:    map[*types.Func]bool{},
+		pooledFields: map[*types.Var]bool{},
+	}
 	// A package that fails to load must not abort the others: every
 	// failure is recorded per package so the driver can name each one,
 	// and the packages that do type-check are still analyzed.

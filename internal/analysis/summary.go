@@ -1,0 +1,135 @@
+package analysis
+
+// Per-function summaries give the pooled-buffer passes one level of
+// interprocedural flow: every function of the module is analyzed once
+// with its pointer-bearing parameters seeded as tracked facts, and
+// the dataflow records which parameter bits reach a return (the
+// helper hands its argument back), which reach a retention sink (the
+// helper stores, sends, or boxes its argument somewhere that outlives
+// the call), and whether the function returns pooled memory it
+// obtained itself. Summaries are computed from direct sources only —
+// a summary never consults another summary — so the depth is exactly
+// one helper level, which is what the small wrappers in this module
+// need (identity-shaped helpers, cache.put, putSearcher).
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcSummary is what the pooled-buffer analyses know about calling a
+// function, without re-analyzing its body at every call site.
+type funcSummary struct {
+	// returnsArg has bit i set when parameter i (or memory reachable
+	// from it) may flow into a result.
+	returnsArg uint64
+	// retainsArg has bit i set when parameter i may be retained past
+	// the call: stored into a field, global, or container, sent on a
+	// channel, captured by an unjoined goroutine, or passed into an
+	// interface the analysis cannot see through.
+	retainsArg uint64
+	// returnsPooled marks a function whose results may carry pooled
+	// memory the function obtained itself (Pool.Get, a //cafe:pooled
+	// source) without being annotated //cafe:pooled.
+	returnsPooled bool
+}
+
+// computeSummaries analyzes every function declaration of the module
+// once in summary mode, and also returns the declaration map used to
+// resolve named goroutine payloads.
+func computeSummaries(prog *Program) (map[*types.Func]*funcSummary, map[*types.Func]goDecl) {
+	decls := map[*types.Func]goDecl{}
+	for _, pkg := range prog.Packages {
+		pkg.funcDecls(func(fd *ast.FuncDecl) {
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = goDecl{fd: fd, pkg: pkg}
+			}
+		})
+	}
+	sums := map[*types.Func]*funcSummary{}
+	for _, pkg := range prog.Packages {
+		pkg.funcDecls(func(fd *ast.FuncDecl) {
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok || prog.PooledFunc(fn) {
+				// Annotated sources need no summary: call sites read
+				// the directive itself.
+				return
+			}
+			t := &poolTracker{
+				prog:        prog,
+				pkg:         pkg,
+				decls:       decls,
+				summaryMode: true,
+				cur:         &funcSummary{},
+				seen:        map[string]bool{},
+			}
+			init := FlowState{}
+			for i, id := range paramIdents(fd) {
+				if i >= 64 {
+					break
+				}
+				if obj := pkg.Info.Defs[id]; obj != nil && hasPointers(obj.Type()) {
+					init[obj] = Fact{Params: 1 << uint(i)}
+				}
+			}
+			t.enclBody = fd.Body
+			t.analyzeBody(fd.Body, init)
+			if t.cur.returnsArg != 0 || t.cur.retainsArg != 0 || t.cur.returnsPooled {
+				sums[fn] = t.cur
+			}
+		})
+	}
+	return sums, decls
+}
+
+// paramIdents lists the declared parameter names of fd in signature
+// order (the receiver is not a parameter: summary bits line up with
+// call-site argument positions).
+func paramIdents(fd *ast.FuncDecl) []*ast.Ident {
+	var out []*ast.Ident
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, fld := range fd.Type.Params.List {
+		out = append(out, fld.Names...)
+	}
+	return out
+}
+
+// paramBit maps call-site argument index i to the summary bit of the
+// parameter it binds — variadic tails all share the last parameter's
+// bit.
+func paramBit(sig *types.Signature, i int) uint64 {
+	if sig != nil {
+		if n := sig.Params().Len(); n > 0 && i >= n {
+			i = n - 1
+		}
+	}
+	if i >= 64 {
+		return 0
+	}
+	return 1 << uint(i)
+}
+
+// hasPointers reports whether values of type t can carry references
+// to shared memory — only those can alias pooled backing. Recursion
+// through structs terminates because cycles in Go types necessarily
+// pass through a pointer, slice, map, or channel, all of which return
+// without recursing.
+func hasPointers(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if hasPointers(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return hasPointers(u.Elem())
+	}
+	// Basics (strings included — immutable, so an alias cannot be
+	// scribbled on) and everything else carry no mutable references.
+	return false
+}

@@ -1,0 +1,91 @@
+// Package aliaspkg seeds the pooled-backing aliasing shapes the alias
+// pass exists for — first among them the PR-5 both-strands merge bug,
+// where append(forward, reverse...) handed callers a result slice
+// built on pooled backing the next query would scribble over.
+// Findings anchor at the append/slice expression, where the copy
+// belongs.
+package aliaspkg
+
+// searcher mirrors internal/core.Searcher: query-lifetime result
+// backing behind an annotated field and getter.
+type searcher struct {
+	resBuf []int //cafe:pooled query-lifetime result backing, reused by the next query
+}
+
+// results hands out the searcher's pooled result buffer, emptied.
+//
+//cafe:pooled the backing is reused by the next query on this searcher
+func (s *searcher) results() []int {
+	return s.resBuf[:0]
+}
+
+// mergeStrands is the PR-5 bug: the merged result is an append view
+// over pooled backing.
+func (s *searcher) mergeStrands(reverse []int) []int {
+	forward := s.results()
+	merged := append(forward, reverse...) //violation:alias
+	return merged
+}
+
+// okMergeCopied is the PR-5 fix: merge into a fresh slice.
+func (s *searcher) okMergeCopied(reverse []int) []int {
+	forward := s.results()
+	merged := make([]int, 0, len(forward)+len(reverse))
+	merged = append(merged, forward...)
+	merged = append(merged, reverse...)
+	return merged
+}
+
+// headView escapes a re-slice of pooled backing.
+func (s *searcher) headView(n int) []int {
+	buf := s.results()
+	head := buf[:n] //violation:alias
+	return head
+}
+
+// resultSet is a retained output structure.
+type resultSet struct {
+	hits []int
+}
+
+// retainView parks a pooled view in a structure that outlives the
+// call — the two-step flow: slice first, store later.
+func (s *searcher) retainView(rs *resultSet, n int) {
+	buf := s.results()
+	view := buf[n:] //violation:alias
+	rs.hits = view
+}
+
+// tail returns its argument; the summary carries the alias one helper
+// deep.
+func tail(xs []int) []int { return xs }
+
+// leakThroughHelper escapes a pooled view via tail's returns-arg
+// summary; the finding still anchors at the slice site.
+func (s *searcher) leakThroughHelper() []int {
+	view := s.results()[1:] //violation:alias
+	return tail(view)
+}
+
+// okWaived hands out an empty view on purpose, with the owner
+// documented.
+func (s *searcher) okWaived() []int {
+	return s.results()[:0] //cafe:allow alias empty view the caller fills and hands back before the next query
+}
+
+// okRefill stores a view back into the pooled field — the pool
+// refilling itself.
+func (s *searcher) okRefill(out []int) {
+	s.resBuf = out[:0]
+}
+
+// okCounted derives a view but never lets it escape.
+func (s *searcher) okCounted() int {
+	buf := s.results()
+	view := buf[:cap(buf)]
+	n := 0
+	for _, v := range view {
+		n += v
+	}
+	return n
+}

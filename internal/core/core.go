@@ -265,18 +265,18 @@ type Searcher struct {
 	// Scratch reused across queries.
 	acc     accumulators
 	it      postings.Iterator
-	termSet map[kmer.Term][]int
+	termSet map[kmer.Term][]int //cafe:pooled query-lifetime term map, cleared at the start of each coarse call
 
 	// Sharded-coarse scratch: per-worker accumulators and the term
 	// work list, grown to the high-water worker count and reused so
 	// steady-state sharded coarse allocates nothing.
 	shards   []*coarseShard
-	termJobs []termJob
+	termJobs []termJob //cafe:pooled sharded-coarse work list, rebuilt per query
 
 	// candBuf backs the bounded top-k candidate selection; it holds at
 	// most Candidates entries and is reused across queries (the fine
 	// phase finishes with it before the next coarse call).
-	candBuf []Candidate
+	candBuf []Candidate //cafe:pooled top-k backing, reclaimed after each query's fine phase
 
 	// seedScratch holds one bestSeed scratch per fine worker, grown to
 	// the high-water FineWorkers and reused across candidates.
@@ -353,6 +353,8 @@ func (sh *coarseShard) accumulate(idx *index.Index, job termJob) {
 
 // coarseShards returns n pooled shards, growing the pool on first use
 // at each high-water mark.
+//
+//cafe:pooled shard state is reused by the next query on this searcher
 func (s *Searcher) coarseShards(n int) []*coarseShard {
 	for len(s.shards) < n {
 		s.shards = append(s.shards, &coarseShard{acc: newAccumulators(s.idx.NumSeqs())})
@@ -362,6 +364,8 @@ func (s *Searcher) coarseShards(n int) []*coarseShard {
 
 // fineScratch returns n pooled bestSeed scratches, one per fine
 // worker, growing the pool at each high-water mark.
+//
+//cafe:pooled scratch is reused across candidates and queries
 func (s *Searcher) fineScratch(n int) []*seedScratch {
 	for len(s.seedScratch) < n {
 		s.seedScratch = append(s.seedScratch, newSeedScratch())
@@ -972,7 +976,7 @@ func (s *Searcher) accumulateSharded(ctx context.Context, mode CoarseMode, worke
 	}
 	for _, sh := range shards {
 		if sh.err != nil {
-			return nil, sh.err
+			return nil, sh.err //cafe:allow poolescape the error is a fresh fmt.Errorf value, not reused backing; reset clears the shard's reference before the next query
 		}
 	}
 
@@ -1018,7 +1022,7 @@ type seedScratch struct {
 	// termSet is the current query's term→offsets map, set by bestSeed
 	// before each extraction; extract reads it through the struct so
 	// the callback closes over nothing query-specific.
-	termSet map[kmer.Term][]int
+	termSet map[kmer.Term][]int //cafe:pooled borrowed from the searcher for the current query only
 	extract func(sPos int, t kmer.Term)
 	// bv is the worker's bitvector-kernel scratch (DP columns), reused
 	// across candidates; it rides in the seed scratch so the fine

@@ -32,14 +32,14 @@ type CoarseBenchRun struct {
 // be true — the sharded walk is required to return byte-identical
 // results — and CI fails the run otherwise.
 type CoarseBenchReport struct {
-	Seed       int              `json:"seed"`
-	Bases      int              `json:"bases"`
-	Sequences  int              `json:"sequences"`
-	Queries    int              `json:"queries"`
-	QueryLen   int              `json:"query_len"`
-	K          int              `json:"k"`
-	Candidates int              `json:"candidates"`
-	GOMAXPROCS int              `json:"gomaxprocs"`
+	Seed       int `json:"seed"`
+	Bases      int `json:"bases"`
+	Sequences  int `json:"sequences"`
+	Queries    int `json:"queries"`
+	QueryLen   int `json:"query_len"`
+	K          int `json:"k"`
+	Candidates int `json:"candidates"`
+	GOMAXPROCS int `json:"gomaxprocs"`
 	// CPUs is the physical core count of the machine that ran the
 	// bench (runtime.NumCPU). A trajectory with CPUs < Workers shows
 	// sharding overhead, not parallel speedup; the bench-efficiency CI

@@ -41,6 +41,10 @@ func newResultCache(capacity int) *resultCache {
 }
 
 // get returns the cached body for key and marks it most recently used.
+// The returned slice is the shared cache entry itself: callers may only
+// read it (every concurrent hit hands out the same backing array).
+//
+//cafe:pooled the returned body is shared across concurrent hits; never mutate or append to it
 func (c *resultCache) get(key string) ([]byte, bool) {
 	if c == nil {
 		return nil, false

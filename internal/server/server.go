@@ -211,10 +211,16 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	writeBody(w, code, body)
 }
 
+var newline = []byte{'\n'}
+
 func writeBody(w http.ResponseWriter, code int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	w.Write(append(body, '\n'))
+	// Write the trailing newline separately: body may be a cached slice
+	// shared across requests, and append would race on its spare
+	// capacity.
+	w.Write(body)
+	w.Write(newline)
 }
 
 // searchRequest is the parameter set of one /search evaluation, from
@@ -479,7 +485,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			s.mCacheHits.Inc()
 			w.Header().Set("X-Cafe-Cache", "hit")
 			w.Header().Set("X-Cafe-Took-Us", strconv.FormatInt(time.Since(start).Microseconds(), 10))
-			writeBody(w, http.StatusOK, body)
+			writeBody(w, http.StatusOK, body) //cafe:allow poolescape writeBody only reads the shared cache entry; ResponseWriter.Write copies the bytes to the socket
 			return
 		}
 		s.mCacheMisses.Inc()

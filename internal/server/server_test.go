@@ -147,6 +147,29 @@ func TestCacheHitIdenticalBody(t *testing.T) {
 	}
 }
 
+// TestWriteBodyLeavesBackingUntouched is the regression test for the
+// cached-body race: writeBody used to append the trailing newline into
+// the caller's slice, scribbling on spare capacity that on a cache hit
+// belongs to an entry shared across concurrent requests.
+func TestWriteBodyLeavesBackingUntouched(t *testing.T) {
+	backing := make([]byte, 8, 16)
+	copy(backing, `{"ok":1}`)
+	spare := backing[8:16:16]
+	for i := range spare {
+		spare[i] = 0xAA
+	}
+	rec := httptest.NewRecorder()
+	writeBody(rec, http.StatusOK, backing[:8])
+	if got := rec.Body.String(); got != `{"ok":1}`+"\n" {
+		t.Fatalf("response body = %q, want body plus newline", got)
+	}
+	for i, b := range spare {
+		if b != 0xAA {
+			t.Fatalf("writeBody scribbled on spare capacity at byte %d: 0x%02X", i, b)
+		}
+	}
+}
+
 // TestCacheOnOffEquivalence is the cache property test: for random
 // queries in random order with repeats, a cache-enabled server and a
 // cache-disabled server return byte-identical bodies.

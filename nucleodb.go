@@ -132,6 +132,8 @@ type Database struct {
 // getSearcher checks a searcher for the current index out of the pool,
 // constructing one when the pool is empty or holds searchers built for
 // a pre-Append index.
+//
+//cafe:pooled callers must pair every checkout with putSearcher
 func (d *Database) getSearcher() (*core.Searcher, error) {
 	if s, ok := d.searchers.Get().(*core.Searcher); ok && s.Index() == d.idx {
 		return s, nil
