@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench bench-json check lint lint-baseline lint-sarif lint-budget fuzz-smoke serve-smoke examples experiments fmt vet clean
+.PHONY: all build test test-race cover bench bench-json check lint lint-baseline lint-sarif lint-budget fuzz-smoke serve-smoke segments-equivalence examples experiments fmt vet clean
 
 all: build test
 
@@ -57,6 +57,7 @@ check: lint
 	$(GO) build ./cmd/...
 	$(MAKE) fuzz-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) segments-equivalence
 
 # cafe-lint enforces the //cafe:hotpath allocation contract, checked
 # errors in the decode packages, nil-guarded SearchStats writes,
@@ -105,6 +106,17 @@ fuzz-smoke:
 # intentional wire-format change).
 serve-smoke:
 	$(GO) test -count=1 -run '^TestServeGolden$$' ./clitest/servertest
+
+# The segmented-index lockdown: the property suite proving segmented
+# search byte-identical to a monolithic rebuild (every segment count,
+# every compaction state, the whole option grid), the crash-safety
+# fault-injection matrix over Append/Compact/Delete, the core
+# per-segment equivalence matrix, and the live-compaction serving e2e.
+# Runs without -short so the full matrices execute.
+segments-equivalence:
+	$(GO) test -count=1 -run '^(TestSegmentedEquivalenceProperty|TestSegmentedSaveReloadEquivalence|TestDeleteEquivalence|TestCrashSafety.*|TestSegmentedConcurrentHammer)$$' .
+	$(GO) test -count=1 -run '^(TestSegmentedSearchEquivalence|TestSegmentedDeletedFilter)$$' ./internal/core
+	$(GO) test -count=1 -run '^TestServeLiveCompactionGolden$$' ./clitest/servertest
 
 examples:
 	$(GO) run ./examples/quickstart/

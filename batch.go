@@ -84,12 +84,16 @@ func (d *Database) SearchBatchWithStatsContext(ctx context.Context, queries []st
 		st  SearchStats
 		err error
 	}
+	// Pin one snapshot for the whole batch: every worker searches the
+	// same segment set, so results are mutually consistent even while
+	// appends or compactions publish new snapshots mid-batch.
+	set := d.snap.Load()
 	work := make(chan int)
 	results := make(chan result)
 	var wg sync.WaitGroup
 	searchers := make([]*core.Searcher, workers)
 	for w := 0; w < workers; w++ {
-		searcher, err := d.getSearcher()
+		searcher, err := d.searcherFor(set)
 		if err != nil {
 			return nil, agg, fmt.Errorf("nucleodb: %w", err)
 		}
@@ -135,7 +139,7 @@ func (d *Database) SearchBatchWithStatsContext(ctx context.Context, queries []st
 		for k, cr := range r.rs {
 			rs[k] = Result{
 				ID:           cr.ID,
-				Desc:         d.store.Desc(cr.ID),
+				Desc:         set.Desc(cr.ID),
 				Score:        cr.Score,
 				Identity:     cr.Alignment.Identity(),
 				QueryStart:   cr.Alignment.AStart,
@@ -146,7 +150,7 @@ func (d *Database) SearchBatchWithStatsContext(ctx context.Context, queries []st
 			}
 			if statsErr == nil {
 				rs[k].Bits = params.BitScore(cr.Score)
-				rs[k].EValue = params.EValue(cr.Score, len(encoded[r.i]), d.store.TotalBases())
+				rs[k].EValue = params.EValue(cr.Score, len(encoded[r.i]), set.TotalBases())
 			}
 		}
 		out[r.i] = rs

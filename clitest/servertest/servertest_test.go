@@ -20,6 +20,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -373,4 +374,138 @@ func TestServeMatchesCafeSearch(t *testing.T) {
 				i, sr.Results[i].ID, sr.Results[i].Score, cli[i].id, cli[i].score)
 		}
 	}
+}
+
+// TestServeLiveCompactionGolden is the end-to-end lockdown for serving
+// during compaction. cafe-gen reproduces the exact golden corpus
+// (corpusSeed/corpusSize), cafe-build writes it as a 12-segment
+// database, and cafe-serve opens it with the background compactor told
+// to fold everything to one segment. While the fold runs, concurrent
+// searches must all answer 200 with results; the segments_total gauge
+// in /metrics must reach 1; and the committed query script must then
+// replay byte-identically against the committed goldens — the same
+// files the monolithic server produced, proving the segmented layout
+// is invisible on the wire.
+func TestServeLiveCompactionGolden(t *testing.T) {
+	tools := buildTools(t, "cafe-gen", "cafe-build", "cafe-serve")
+	work := t.TempDir()
+	fasta := filepath.Join(work, "collection.fasta")
+	dbDir := filepath.Join(work, "db")
+
+	if out, err := exec.Command(tools["cafe-gen"],
+		"-seqs", fmt.Sprint(corpusSize), "-seed", fmt.Sprint(corpusSeed),
+		"-out", fasta).CombinedOutput(); err != nil {
+		t.Fatalf("cafe-gen: %v\n%s", err, out)
+	}
+	out, err := exec.Command(tools["cafe-build"],
+		"-in", fasta, "-db", dbDir, "-segment-size", "10").CombinedOutput()
+	if err != nil {
+		t.Fatalf("cafe-build: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "segmented layout") {
+		t.Fatalf("cafe-build did not report the segmented layout:\n%s", out)
+	}
+
+	srv := startServer(t, tools["cafe-serve"], dbDir, "-max-segments", "1")
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// Hammer /search (cache bypassed, so the golden replay below still
+	// sees its scripted miss/hit sequence) while the compactor folds
+	// 12 segments down to 1.
+	const liveQuery = "CTTTTCTTTTTGGTCAAACTTTTGAGCACTACTTCCCTTATGAACTCACTCGTTGGTTCTTTAAAGAGAGTTCTAATAAT"
+	stop := make(chan struct{})
+	errs := make(chan error, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get(srv.base + "/search?q=" + liveQuery + "&limit=5&nocache=1")
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"results"`) {
+					errs <- fmt.Errorf("mid-compaction search: status %d: %s", resp.StatusCode, body)
+					return
+				}
+			}
+		}()
+	}
+
+	// Wait for segments_total to hit 1 in /metrics while the hammer
+	// runs.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := client.Get(srv.base + "/metrics")
+		if err != nil {
+			t.Fatalf("/metrics: %v", err)
+		}
+		var snap struct {
+			Gauges map[string]int64 `json:"gauges"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("/metrics: %v", err)
+		}
+		if snap.Gauges["segments_total"] == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("compaction never settled: segments_total = %d\n%s",
+				snap.Gauges["segments_total"], srv.stderr.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Settled: the committed script must reproduce the committed
+	// goldens exactly, as if the database had been monolithic all
+	// along. (Skipped under -update: TestServeGolden owns regeneration.)
+	if !*update {
+		raw, err := os.ReadFile(filepath.Join("testdata", "script.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var script []step
+		if err := json.Unmarshal(raw, &script); err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range script {
+			got := replay(t, client, srv.base, st)
+			buf, err := json.MarshalIndent(got, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf = append(buf, '\n')
+			want, err := os.ReadFile(goldenPath(st.Name))
+			if err != nil {
+				t.Fatalf("step %s: %v", st.Name, err)
+			}
+			if !bytes.Equal(buf, want) {
+				t.Errorf("step %s: compacted server diverged from monolithic golden:\n--- got ---\n%s--- want ---\n%s",
+					st.Name, buf, want)
+			}
+		}
+	}
+	srv.drain(t)
 }

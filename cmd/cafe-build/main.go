@@ -4,16 +4,25 @@
 // Usage:
 //
 //	cafe-build -in collection.fasta -db ./mydb -k 9
+//	cafe-build -in collection.fasta -db ./mydb -segment-size 10000
+//
+// With -segment-size the collection is indexed in segments of that
+// many records and saved in the segmented layout (MANIFEST plus one
+// store and index file per segment): the database then supports
+// crash-safe incremental Append, Delete and background compaction when
+// reopened. Without it the legacy monolithic layout is written.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
 
 	"nucleodb"
+	"nucleodb/internal/dna"
 )
 
 func main() {
@@ -29,6 +38,7 @@ func main() {
 		skip    = flag.Int("skip", 0, "posting-list skip interval (1 = sqrt heuristic, 0 = none)")
 		workers = flag.Int("workers", 0, "build parallelism (0 = all CPUs)")
 		mask    = flag.String("mask", "", "spaced seed mask (e.g. 111010010100110111); overrides -k")
+		segSize = flag.Int("segment-size", 0, "records per segment; > 0 writes the segmented layout (enables incremental growth)")
 	)
 	flag.Parse()
 	if *in == "" || *out == "" {
@@ -51,20 +61,82 @@ func main() {
 	cfg.SpacedMask = *mask
 
 	start := time.Now()
-	db, err := nucleodb.BuildFromFasta(f, cfg)
+	var db *nucleodb.Database
+	if *segSize > 0 {
+		db, err = buildSegmented(f, cfg, *segSize)
+	} else {
+		db, err = nucleodb.BuildFromFasta(f, cfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	buildTime := time.Since(start)
-	if err := db.Save(*out); err != nil {
+	if *segSize > 0 {
+		err = db.SaveSegmented(*out)
+	} else {
+		err = db.Save(*out)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 
 	st := db.Stats()
 	fmt.Printf("built %s in %v\n", *out, buildTime.Round(time.Millisecond))
+	if *segSize > 0 {
+		fmt.Printf("  segments:       %d (segmented layout)\n", st.Segments)
+	}
 	fmt.Printf("  sequences:      %d (%.1f Mbases)\n", st.NumSequences, float64(st.TotalBases)/1e6)
 	fmt.Printf("  store:          %.2f MB (%.3f bits/base)\n",
 		float64(st.StoreBytes)/1e6, 8*float64(st.StoreBytes)/float64(st.TotalBases))
 	fmt.Printf("  index:          %.2f MB (%d terms, %d stopped)\n",
 		float64(st.IndexBytes)/1e6, st.TermsIndexed, st.TermsStopped)
+}
+
+// buildSegmented streams the FASTA input in batches of segSize records:
+// the first batch builds the database, each later batch appends as its
+// own segment (compaction stays off so the chunking is preserved for
+// SaveSegmented). Peak memory is one batch's raw records plus the
+// growing database, like BuildFromFasta.
+func buildSegmented(r io.Reader, cfg nucleodb.BuildConfig, segSize int) (*nucleodb.Database, error) {
+	fr := dna.NewFastaReader(r)
+	var db *nucleodb.Database
+	batch := make([]nucleodb.Record, 0, segSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		var err error
+		if db == nil {
+			db, err = nucleodb.Build(batch, cfg)
+			if err == nil {
+				db.SetMaxSegments(1 << 30)
+			}
+		} else {
+			err = db.Append(batch)
+		}
+		batch = batch[:0]
+		return err
+	}
+	for {
+		rec, err := fr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		batch = append(batch, nucleodb.Record{Desc: rec.Desc, Sequence: dna.String(rec.Codes)})
+		if len(batch) == segSize {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if db == nil {
+		return nucleodb.Build(nil, cfg)
+	}
+	return db, nil
 }

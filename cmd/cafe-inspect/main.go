@@ -21,6 +21,7 @@ import (
 	"nucleodb/internal/db"
 	"nucleodb/internal/index"
 	"nucleodb/internal/kmer"
+	"nucleodb/internal/segment"
 )
 
 func main() {
@@ -36,6 +37,11 @@ func main() {
 	if *dbDir == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if segment.IsSegmented(*dbDir) {
+		inspectSegmented(*dbDir, *asJSON)
+		return
 	}
 
 	sf, err := os.Open(*dbDir + "/sequences.ndb")
@@ -110,10 +116,6 @@ func main() {
 
 	// Posting-list length distribution.
 	var dfs []int
-	type termDF struct {
-		term kmer.Term
-		df   int
-	}
 	var all []termDF
 	idx.Terms(func(t kmer.Term, df int) {
 		dfs = append(dfs, df)
@@ -133,20 +135,96 @@ func main() {
 		fmt.Printf("  singleton lists:  %d (%.1f%%)\n", singletons, 100*float64(singletons)/float64(len(dfs)))
 	}
 
-	if *top > 0 && len(all) > 0 {
-		sort.Slice(all, func(i, j int) bool {
-			if all[i].df != all[j].df {
-				return all[i].df > all[j].df
-			}
-			return all[i].term < all[j].term
+	printTop(*top, all, idx.Coder())
+}
+
+// inspectSegmented prints the layout of a segmented database: the
+// per-segment breakdown plus aggregate storage numbers.
+func inspectSegmented(dir string, asJSON bool) {
+	set, nextSeg, err := segment.OpenDir(dir, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type segSummary struct {
+		Name       string `json:"name"`
+		Seqs       int    `json:"seqs"`
+		Deleted    int    `json:"deleted"`
+		LiveBases  int    `json:"live_bases"`
+		StoreBytes int    `json:"store_bytes"`
+		IndexBytes int    `json:"index_bytes"`
+	}
+	var segs []segSummary
+	storeBytes, indexBytes := 0, 0
+	for _, g := range set.Segments() {
+		segs = append(segs, segSummary{
+			Name:       g.Name,
+			Seqs:       g.Len(),
+			Deleted:    g.NumDeleted(),
+			LiveBases:  g.LiveBases(),
+			StoreBytes: g.Store.EncodedBytes(),
+			IndexBytes: g.Index.SizeBytes(),
 		})
-		if *top > len(all) {
-			*top = len(all)
+		storeBytes += g.Store.EncodedBytes()
+		indexBytes += g.Index.SizeBytes()
+	}
+	opts := set.Options()
+	if asJSON {
+		summary := map[string]any{
+			"segmented":       true,
+			"segments":        segs,
+			"next_seg":        nextSeg,
+			"sequences":       set.NumSeqs(),
+			"deleted":         set.NumDeleted(),
+			"bases":           set.TotalBases(),
+			"store_bytes":     storeBytes,
+			"index_bytes":     indexBytes,
+			"interval_length": opts.K,
+			"offsets_stored":  opts.StoreOffsets,
+			"skip_interval":   opts.SkipInterval,
 		}
-		fmt.Printf("\nmost frequent intervals:\n")
-		coder := idx.Coder()
-		for _, e := range all[:*top] {
-			fmt.Printf("  %s  in %d sequences\n", coder.String(e.term), e.df)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summary); err != nil {
+			log.Fatal(err)
 		}
+		return
+	}
+	fmt.Printf("database %s (segmented layout)\n\n", dir)
+	fmt.Printf("segments: %d (next file number %d)\n", set.Len(), nextSeg)
+	for _, g := range segs {
+		fmt.Printf("  %-12s %8d seqs", g.Name, g.Seqs)
+		if g.Deleted > 0 {
+			fmt.Printf(" (%d tombstoned)", g.Deleted)
+		}
+		fmt.Printf("  %10d live bases  store %8d B  index %8d B\n", g.LiveBases, g.StoreBytes, g.IndexBytes)
+	}
+	fmt.Printf("\ntotals:\n")
+	fmt.Printf("  sequences:        %d (%d tombstoned)\n", set.NumSeqs(), set.NumDeleted())
+	fmt.Printf("  live bases:       %d (%.2f Mbases)\n", set.TotalBases(), float64(set.TotalBases())/1e6)
+	fmt.Printf("  store:            %d bytes\n", storeBytes)
+	fmt.Printf("  index:            %d bytes (interval length %d, offsets %v)\n", indexBytes, opts.K, opts.StoreOffsets)
+}
+
+type termDF struct {
+	term kmer.Term
+	df   int
+}
+
+func printTop(top int, all []termDF, coder *kmer.Coder) {
+	if top <= 0 || len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].df != all[j].df {
+			return all[i].df > all[j].df
+		}
+		return all[i].term < all[j].term
+	})
+	if top > len(all) {
+		top = len(all)
+	}
+	fmt.Printf("\nmost frequent intervals:\n")
+	for _, e := range all[:top] {
+		fmt.Printf("  %s  in %d sequences\n", coder.String(e.term), e.df)
 	}
 }

@@ -6,6 +6,13 @@
 // Usage:
 //
 //	cafe-merge -a ./db1 -b ./db2 -out ./combined
+//	cafe-merge -compact ./segdb [-max-segments 1]
+//
+// With -compact it instead folds a segmented database (built by
+// cafe-build -segment-size, or grown by Append) down to at most
+// -max-segments segments in place, reclaiming tombstoned records. The
+// rewrite is crash-safe: each step writes the merged segment files and
+// swaps the manifest atomically before removing superseded files.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"nucleodb"
 	"nucleodb/internal/db"
 	"nucleodb/internal/index"
 )
@@ -26,11 +34,17 @@ func main() {
 	log.SetPrefix("cafe-merge: ")
 
 	var (
-		aDir = flag.String("a", "", "first database directory (required)")
-		bDir = flag.String("b", "", "second database directory (required)")
-		out  = flag.String("out", "", "output database directory (required)")
+		aDir    = flag.String("a", "", "first database directory (required unless -compact)")
+		bDir    = flag.String("b", "", "second database directory (required unless -compact)")
+		out     = flag.String("out", "", "output database directory (required unless -compact)")
+		compact = flag.String("compact", "", "segmented database directory to compact in place")
+		maxSegs = flag.Int("max-segments", 1, "with -compact: fold down to at most this many segments")
 	)
 	flag.Parse()
+	if *compact != "" {
+		compactDir(*compact, *maxSegs)
+		return
+	}
 	if *aDir == "" || *bDir == "" || *out == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -61,6 +75,35 @@ func main() {
 	fmt.Printf("merged %d + %d sequences (%.1f Mbases) into %s in %v\n",
 		storeA.Len(), storeB.Len(), float64(store.TotalBases())/1e6,
 		*out, time.Since(start).Round(time.Millisecond))
+}
+
+func compactDir(dir string, maxSegs int) {
+	d, err := nucleodb.Open(dir, nucleodb.DefaultScoring())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	before := d.Stats()
+	start := time.Now()
+	d.SetMaxSegments(maxSegs)
+	folded := 0
+	for {
+		n, err := d.Compact()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		folded += n
+	}
+	after := d.Stats()
+	fmt.Printf("compacted %s: %d -> %d segments (folded %d) in %v\n",
+		dir, before.Segments, after.Segments, folded, time.Since(start).Round(time.Millisecond))
+	if before.Deleted > 0 {
+		fmt.Printf("  reclaimed %d tombstoned records (%d remain)\n",
+			before.Deleted-after.Deleted, after.Deleted)
+	}
 }
 
 func load(dir string) (*db.Store, *index.Index) {

@@ -45,6 +45,8 @@ func main() {
 		candidates = flag.Int("candidates", defaults.Options.Candidates, "default coarse-phase candidate budget")
 		limit      = flag.Int("limit", defaults.Options.Limit, "default answers per query")
 		coarseW    = flag.Int("coarse-workers", defaults.Options.CoarseWorkers, "shard each search's coarse posting-list walk across this many workers (0 = serial; results are identical — visible as coarse_shards_total in /metrics)")
+		compact    = flag.Bool("compact", true, "run the background compactor: fold accumulated segments while serving (segmented databases; visible as segments_total in /metrics)")
+		maxSegs    = flag.Int("max-segments", 0, "compaction trigger: fold while more than this many segments (0 = library default)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown grace period")
 	)
 	flag.Parse()
@@ -62,6 +64,17 @@ func main() {
 		log.Fatal(err)
 	}
 	defer db.Close()
+	if *maxSegs > 0 {
+		db.SetMaxSegments(*maxSegs)
+	}
+	if *compact {
+		// Searches keep answering against their snapshot while the
+		// compactor folds segments and swaps in the merged set.
+		db.StartCompactor(func(err error) { log.Printf("compact: %v", err) })
+		if n := db.NumSegments(); n > 1 {
+			log.Printf("background compactor running (%d segments)", n)
+		}
+	}
 
 	cfg := defaults
 	cfg.DefaultTimeout = *timeout

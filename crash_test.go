@@ -1,0 +1,315 @@
+package nucleodb
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nucleodb/internal/segment"
+)
+
+var errInjected = errors.New("injected crash")
+
+// armFault makes the nth arrival at the named fault point fail, as a
+// crash at that instant would, and restores the hook on cleanup.
+func armFault(t *testing.T, point string, skip int) {
+	t.Helper()
+	n := 0
+	segment.FaultHook = func(p string) error {
+		if p != point {
+			return nil
+		}
+		n++
+		if n <= skip {
+			return nil
+		}
+		return errInjected
+	}
+	t.Cleanup(func() { segment.FaultHook = nil })
+}
+
+// expectResults reopens dir both ways and checks the surviving state
+// answers identically to a monolithic build of wantRecs.
+func expectResults(t *testing.T, label, dir, query string, wantRecs []Record) {
+	t.Helper()
+	mono, err := Build(wantRecs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mono.Search(query, DefaultSearchOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, paged := range []bool{false, true} {
+		open := Open
+		if paged {
+			open = OpenPaged
+		}
+		db, err := open(dir, DefaultScoring())
+		if err != nil {
+			t.Fatalf("%s: reopen (paged=%v) after crash: %v", label, paged, err)
+		}
+		if got := db.NumSequences(); got != len(wantRecs) {
+			t.Fatalf("%s (paged=%v): %d records after crash, want %d", label, paged, got, len(wantRecs))
+		}
+		got, err := db.Search(query, DefaultSearchOptions())
+		if err != nil {
+			t.Fatalf("%s (paged=%v): %v", label, paged, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s (paged=%v): post-crash results diverge\n got %+v\nwant %+v", label, paged, got, want)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// segmentFiles lists the seg-* files in dir, for leak checks.
+func segmentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "seg-") || strings.HasSuffix(e.Name(), ".tmp") {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+// TestCrashSafetyAppend injects a crash at each fault point of a
+// persisted Append and proves the reopened directory is always
+// consistent: the batch is either fully present or fully absent, and
+// search results match the corresponding monolithic build exactly.
+func TestCrashSafetyAppend(t *testing.T) {
+	recs, query, _ := testRecords(330)
+	base, batch := recs[:30], recs[30:]
+
+	cases := []struct {
+		point   string
+		durable bool // is the batch visible after the crash?
+	}{
+		{segment.FaultSegmentsWritten, false},
+		{segment.FaultBeforeManifestRename, false},
+		{segment.FaultAfterManifestRename, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.point, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "db")
+			db, err := Build(base, DefaultBuildConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			db.SetMaxSegments(math.MaxInt32)
+			if err := db.SaveSegmented(dir); err != nil {
+				t.Fatal(err)
+			}
+
+			armFault(t, tc.point, 0)
+			if err := db.Append(batch); !errors.Is(err, errInjected) {
+				t.Fatalf("Append survived the injected crash: %v", err)
+			}
+			segment.FaultHook = nil
+
+			want := base
+			if tc.durable {
+				want = recs
+			}
+			expectResults(t, tc.point, dir, query, want)
+
+			// The reopen garbage-collected whatever the crash orphaned:
+			// every remaining file belongs to the live manifest.
+			db2, err := Open(dir, DefaultScoring())
+			if err != nil {
+				t.Fatal(err)
+			}
+			liveSegs := db2.NumSegments()
+			files := segmentFiles(t, dir)
+			if len(files) != 2*liveSegs {
+				t.Errorf("%d segment files on disk for %d live segments (GC leak?): %v", len(files), liveSegs, files)
+			}
+		})
+	}
+}
+
+// TestCrashSafetyCompact injects a crash at each fault point of a
+// persisted compaction. Compaction only reorganises data, so every
+// crash state must answer identically to the full record set; what
+// varies is only whether the fold became durable.
+func TestCrashSafetyCompact(t *testing.T) {
+	recs, query, _ := testRecords(331)
+	rng := rand.New(rand.NewSource(332))
+
+	points := []struct {
+		point  string
+		folded bool // did the fold survive the crash?
+	}{
+		{segment.FaultSegmentsWritten, false},
+		{segment.FaultBeforeManifestRename, false},
+		{segment.FaultAfterManifestRename, true},
+	}
+	for _, tc := range points {
+		t.Run(tc.point, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "db")
+			db := buildSegmented(t, recs, 4, rng)
+			if err := db.SaveSegmented(dir); err != nil {
+				t.Fatal(err)
+			}
+			segsBefore := db.NumSegments()
+
+			db.SetMaxSegments(1)
+			armFault(t, tc.point, 0)
+			if _, err := db.Compact(); !errors.Is(err, errInjected) {
+				t.Fatalf("Compact survived the injected crash: %v", err)
+			}
+			segment.FaultHook = nil
+
+			// Data is never lost, whatever the fault point.
+			expectResults(t, tc.point, dir, query, recs)
+
+			db2, err := Open(dir, DefaultScoring())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.folded && db2.NumSegments() >= segsBefore {
+				t.Errorf("fold was durable but reopen sees %d segments (had %d)", db2.NumSegments(), segsBefore)
+			}
+			if !tc.folded && db2.NumSegments() != segsBefore {
+				t.Errorf("aborted fold changed the layout: %d segments, had %d", db2.NumSegments(), segsBefore)
+			}
+			files := segmentFiles(t, dir)
+			if len(files) != 2*db2.NumSegments() {
+				t.Errorf("%d segment files for %d live segments (GC leak?): %v", len(files), db2.NumSegments(), files)
+			}
+
+			// The survivor keeps working: compaction completes cleanly on
+			// the reopened database and answers stay identical.
+			db2.SetMaxSegments(1)
+			for {
+				n, err := db2.Compact()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n == 0 {
+					break
+				}
+			}
+			if db2.NumSegments() != 1 {
+				t.Fatalf("recompaction left %d segments", db2.NumSegments())
+			}
+			expectResults(t, tc.point+"/recompacted", dir, query, recs)
+		})
+	}
+}
+
+// TestCrashSafetyDeleteManifest injects a crash into the manifest swap
+// of a persisted Delete: tombstones are either fully durable or fully
+// absent, never partial.
+func TestCrashSafetyDeleteManifest(t *testing.T) {
+	recs, query, _ := testRecords(333)
+	for _, tc := range []struct {
+		point   string
+		durable bool
+	}{
+		{segment.FaultBeforeManifestRename, false},
+		{segment.FaultAfterManifestRename, true},
+	} {
+		t.Run(tc.point, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "db")
+			db, err := Build(recs, DefaultBuildConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := db.SaveSegmented(dir); err != nil {
+				t.Fatal(err)
+			}
+			armFault(t, tc.point, 0)
+			if err := db.Delete(0, 1); !errors.Is(err, errInjected) {
+				t.Fatalf("Delete survived the injected crash: %v", err)
+			}
+			segment.FaultHook = nil
+
+			want := recs
+			if tc.durable {
+				want = append([]Record{}, recs...)
+				want[0].Sequence = ""
+				want[1].Sequence = ""
+			}
+			expectResults(t, tc.point, dir, query, want)
+		})
+	}
+}
+
+// TestCrashSafetyEveryApppendOfAStream drives a whole append stream
+// with a crash injected at a different point each round, reopening
+// after each: the database must never lose an acknowledged batch nor
+// resurrect a failed one, at any segment count or compaction state.
+func TestCrashSafetyAppendStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stream matrix skipped in -short mode")
+	}
+	recs, query, _ := testRecords(334)
+	points := []string{segment.FaultSegmentsWritten, segment.FaultBeforeManifestRename, segment.FaultAfterManifestRename}
+
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := Build(recs[:10], DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetMaxSegments(math.MaxInt32)
+	if err := db.SaveSegmented(dir); err != nil {
+		t.Fatal(err)
+	}
+	durable := 10 // records known durable on disk
+
+	for i, start := 0, 10; start < len(recs); i, start = i+1, start+7 {
+		end := start + 7
+		if end > len(recs) {
+			end = len(recs)
+		}
+		batch := recs[durable:end]
+		point := points[i%len(points)]
+		armFault(t, point, 0)
+		err := db.Append(batch)
+		segment.FaultHook = nil
+		if !errors.Is(err, errInjected) {
+			t.Fatalf("round %d: Append survived the injected crash: %v", i, err)
+		}
+		if point == segment.FaultAfterManifestRename {
+			durable = end
+		}
+		// "Reboot": reopen from disk, verify, and carry on appending
+		// from the durable state.
+		db, err = Open(dir, DefaultScoring())
+		if err != nil {
+			t.Fatalf("round %d: reopen: %v", i, err)
+		}
+		db.SetMaxSegments(math.MaxInt32)
+		if got := db.NumSequences(); got != durable {
+			t.Fatalf("round %d: %d records after reboot, want %d", i, got, durable)
+		}
+	}
+	// Finish the stream cleanly and verify the whole collection.
+	if durable < len(recs) {
+		if err := db.Append(recs[durable:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db2, err := Open(dir, DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.NumSequences(); got != len(recs) {
+		t.Fatalf("stream ended with %d records, want %d", got, len(recs))
+	}
+	expectResults(t, "stream-end", dir, query, recs)
+}

@@ -254,13 +254,39 @@ type Result struct {
 	fullTraceback  bool
 }
 
-// Searcher evaluates partitioned queries against an index and its
-// sequence store. It is safe for concurrent use only if each goroutine
-// uses its own Searcher (scratch state is reused between queries).
+// Segment is one immutable slice of the collection as the coarse phase
+// sees it: an inverted index over the segment's sequences (local ids
+// 0..NumSeqs-1) plus the global id of its first sequence. Deleted, when
+// non-nil, reports tombstoned local ids the coarse phase must skip —
+// their postings still exist until compaction rewrites the segment.
+type Segment struct {
+	Index   *index.Index
+	Base    int
+	Deleted func(local int) bool
+}
+
+// Searcher evaluates partitioned queries against a set of index
+// segments and their sequence store. It is safe for concurrent use only
+// if each goroutine uses its own Searcher (scratch state is reused
+// between queries).
 type Searcher struct {
-	idx     *index.Index
+	segs    []Segment
 	src     Source
 	scoring align.Scoring
+
+	// coder and opts are shared by every segment (the constructor
+	// enforces equal build options across segments).
+	coder *kmer.Coder
+	opts  index.Options
+
+	// snapshot is the caller's opaque identity token for the segment
+	// set this searcher was built over; pools compare it to detect
+	// searchers built for a superseded snapshot.
+	snapshot any
+
+	// maxSegSeqs sizes the per-segment accumulators: the largest
+	// segment's sequence count.
+	maxSegSeqs int
 
 	// Scratch reused across queries.
 	acc     accumulators
@@ -357,7 +383,7 @@ func (sh *coarseShard) accumulate(idx *index.Index, job termJob) {
 //cafe:pooled shard state is reused by the next query on this searcher
 func (s *Searcher) coarseShards(n int) []*coarseShard {
 	for len(s.shards) < n {
-		s.shards = append(s.shards, &coarseShard{acc: newAccumulators(s.idx.NumSeqs())})
+		s.shards = append(s.shards, &coarseShard{acc: newAccumulators(s.maxSegSeqs)})
 	}
 	return s.shards[:n]
 }
@@ -373,27 +399,72 @@ func (s *Searcher) fineScratch(n int) []*seedScratch {
 	return s.seedScratch[:n]
 }
 
-// NewSearcher returns a searcher over idx and src. src must be the
+// NewSearcher returns a single-segment searcher over idx and src — the
+// monolithic-index form every pre-segment caller uses. src must be the
 // store the index was built from; the searcher checks the sequence
-// counts agree.
+// counts agree. The snapshot token is the index pointer itself.
 func NewSearcher(idx *index.Index, src Source, scoring align.Scoring) (*Searcher, error) {
+	return NewSegmentedSearcher([]Segment{{Index: idx}}, src, scoring, idx)
+}
+
+// NewSegmentedSearcher returns a searcher over an ordered set of
+// segments covering contiguous global ids: segment i's local id j names
+// global sequence segs[i].Base+j, and src supplies sequences by global
+// id. Every segment must be built with the same index options and the
+// segments' sequence counts must sum to src.Len(). snapshot is an
+// opaque identity token for this segment set, returned by Snapshot();
+// searcher pools compare it to detect stale scratch after an append or
+// compaction swaps the set.
+func NewSegmentedSearcher(segs []Segment, src Source, scoring align.Scoring, snapshot any) (*Searcher, error) {
 	if err := scoring.Validate(); err != nil {
 		return nil, err
 	}
-	if idx.NumSeqs() != src.Len() {
-		return nil, fmt.Errorf("core: index has %d sequences, store has %d", idx.NumSeqs(), src.Len())
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("core: searcher needs at least one segment")
+	}
+	opts := segs[0].Index.Options()
+	total, maxSeqs := 0, 0
+	for i, sg := range segs {
+		if sg.Index == nil {
+			return nil, fmt.Errorf("core: segment %d has no index", i)
+		}
+		if sg.Index.Options() != opts {
+			return nil, fmt.Errorf("core: segment %d build options differ from segment 0", i)
+		}
+		if sg.Base != total {
+			return nil, fmt.Errorf("core: segment %d starts at global id %d, want %d (segments must be contiguous)", i, sg.Base, total)
+		}
+		total += sg.Index.NumSeqs()
+		if n := sg.Index.NumSeqs(); n > maxSeqs {
+			maxSeqs = n
+		}
+	}
+	if total != src.Len() {
+		return nil, fmt.Errorf("core: segments index %d sequences, store has %d", total, src.Len())
 	}
 	return &Searcher{
-		idx:     idx,
-		src:     src,
-		scoring: scoring,
-		acc:     newAccumulators(idx.NumSeqs()),
-		termSet: make(map[kmer.Term][]int),
+		segs:       append([]Segment(nil), segs...),
+		src:        src,
+		scoring:    scoring,
+		coder:      segs[0].Index.Coder(),
+		opts:       opts,
+		snapshot:   snapshot,
+		maxSegSeqs: maxSeqs,
+		acc:        newAccumulators(maxSeqs),
+		termSet:    make(map[kmer.Term][]int),
 	}, nil
 }
 
-// Index returns the searcher's index.
-func (s *Searcher) Index() *index.Index { return s.idx }
+// Index returns the first (for NewSearcher callers: the only) segment's
+// index.
+func (s *Searcher) Index() *index.Index { return s.segs[0].Index }
+
+// Snapshot returns the identity token of the segment set this searcher
+// was built over (see NewSegmentedSearcher).
+func (s *Searcher) Snapshot() any { return s.snapshot }
+
+// NumSegments returns the number of segments the searcher evaluates.
+func (s *Searcher) NumSegments() int { return len(s.segs) }
 
 // Scoring returns the alignment parameters in use.
 func (s *Searcher) Scoring() align.Scoring { return s.scoring }
@@ -613,7 +684,7 @@ func (s *Searcher) searchStrand(ctx context.Context, query []byte, opts Options,
 	// as each worker passes its own scratch. Its stats contribution
 	// returns by value (fineWork), so the parallel path needs no
 	// shared state.
-	coder := s.idx.Coder()
+	coder := s.coder
 	useBitvector := opts.FineMode == FineFull && opts.Kernel() == FineKernelBitvector
 	if useBitvector && len(cands) > 0 {
 		s.bvProfile.Build(query, s.scoring)
@@ -638,7 +709,7 @@ func (s *Searcher) searchStrand(ctx context.Context, query []byte, opts Options,
 			pass := haveSeed
 			if haveSeed {
 				score, _, _, _, _ := align.ExtendUngapped(
-					query, seq, seed.qPos, seed.sPos, s.idx.K(), s.scoring, prescreenXDrop)
+					query, seq, seed.qPos, seed.sPos, s.opts.K, s.scoring, prescreenXDrop)
 				pass = score >= opts.Prescreen
 			}
 			if collect {
@@ -793,12 +864,23 @@ func (s *Searcher) Coarse(query []byte, mode CoarseMode, minHits int) ([]Candida
 	return s.coarse(context.Background(), query, mode, minHits, 1, 0, nil) //cafe:allow ctx context-free wrapper; the recall experiments drive Coarse without a request context
 }
 
-// coarse implements the coarse phase: accumulate the query's posting
-// lists (serially, or sharded across workers when workers > 1), then
-// select candidates. topK > 0 selects the best topK with a bounded
-// heap — O(touched·log k) instead of the full sort's O(n·log n) — and
-// reuses the searcher's candidate buffer; topK ≤ 0 full-sorts every
-// qualifying sequence into a fresh slice (the Coarse recall API).
+// coarse implements the coarse phase: for each segment in order,
+// accumulate the query's posting lists (serially, or sharded across
+// workers when workers > 1) and fold the segment's qualifying sequences
+// — rebased to global ids — into one shared selection. topK > 0 selects
+// the best topK with a bounded heap — O(touched·log k) instead of the
+// full sort's O(n·log n) — and reuses the searcher's candidate buffer;
+// topK ≤ 0 full-sorts every qualifying sequence into a fresh slice (the
+// Coarse recall API).
+//
+// Per-sequence coarse scores are segment-local quantities (distinct and
+// total counts, the length-normalised ratio, the densest diagonal), so
+// scoring each segment independently and merging through the total
+// order (score desc, global id asc — the PR-5 top-k machinery) yields
+// exactly the candidate list a monolithic index over the concatenated
+// collection would produce. The segmented equivalence suite locks this
+// in at every segment count.
+//
 // Work counters accumulate into st when non-nil (stage timing is the
 // caller's job — searchStrand wraps this call in the coarse wall
 // clock). Cancellation is checked once per posting list, so the
@@ -807,10 +889,10 @@ func (s *Searcher) coarse(ctx context.Context, query []byte, mode CoarseMode, mi
 	if minHits < 1 {
 		minHits = 1
 	}
-	if mode == CoarseDiagonal && !s.idx.Options().StoreOffsets {
+	if mode == CoarseDiagonal && !s.opts.StoreOffsets {
 		return nil, fmt.Errorf("core: diagonal coarse mode needs an index built with offsets")
 	}
-	coder := s.idx.Coder()
+	coder := s.coder
 	if len(query) < coder.Span() {
 		return nil, fmt.Errorf("core: query length %d shorter than interval span %d", len(query), coder.Span())
 	}
@@ -827,54 +909,74 @@ func (s *Searcher) coarse(ctx context.Context, query []byte, mode CoarseMode, mi
 	if workers > len(s.termSet) {
 		workers = len(s.termSet)
 	}
-	var diag *diagAcc
-	var err error
-	if workers > 1 {
-		diag, err = s.accumulateSharded(ctx, mode, workers, st)
-	} else {
-		diag, err = s.accumulateSerial(ctx, mode, st)
-	}
-	if err != nil {
-		return nil, err
-	}
-	if st != nil {
-		st.CoarseSequences += len(s.acc.touched)
-	}
 
-	var diagBest map[uint32]diagResult
-	if diag != nil {
-		diagBest = diag.finalize()
-	}
-	score := func(id, hits int) Candidate {
-		c := Candidate{ID: id, Hits: hits}
-		switch mode {
-		case CoarseDistinct:
-			c.Score = float64(hits)
-		case CoarseTotal:
-			c.Score = float64(s.acc.total[id])
-		case CoarseNormalised:
-			c.Score = float64(hits) / math.Log2(float64(s.idx.SeqLen(id))+16)
-		case CoarseDiagonal:
-			r := diagBest[uint32(id)]
-			c.Score = float64(r.score)
-			c.Diag = r.diag
-			c.HasOff = true
-		}
-		return c
-	}
-
+	// Selection state shared across segments: the bounded heap (or the
+	// full-sort slice) receives every segment's qualifying sequences.
+	var sel topKHeap
+	var cands []Candidate
 	if topK > 0 {
-		// Bounded selection: only the candidate budget survives, and
-		// the ordering is total (score desc, ID asc — IDs are unique),
-		// so the heap's output is exactly the full sort's prefix.
-		sel := topKHeap{k: topK, heap: s.candBuf[:0]}
-		for _, id := range s.acc.touched {
-			hits := int(s.acc.distinct[id])
+		sel = topKHeap{k: topK, heap: s.candBuf[:0]}
+	}
+
+	for _, seg := range s.segs {
+		var diag *diagAcc
+		var err error
+		if workers > 1 {
+			diag, err = s.accumulateSharded(ctx, seg, mode, workers, st)
+		} else {
+			diag, err = s.accumulateSerial(ctx, seg, mode, st)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			st.CoarseSequences += len(s.acc.touched)
+			st.Segments++
+		}
+
+		var diagBest map[uint32]diagResult
+		if diag != nil {
+			diagBest = diag.finalize()
+		}
+		score := func(local, hits int) Candidate {
+			c := Candidate{ID: seg.Base + local, Hits: hits}
+			switch mode {
+			case CoarseDistinct:
+				c.Score = float64(hits)
+			case CoarseTotal:
+				c.Score = float64(s.acc.total[local])
+			case CoarseNormalised:
+				c.Score = float64(hits) / math.Log2(float64(seg.Index.SeqLen(local))+16)
+			case CoarseDiagonal:
+				r := diagBest[uint32(local)]
+				c.Score = float64(r.score)
+				c.Diag = r.diag
+				c.HasOff = true
+			}
+			return c
+		}
+
+		for _, local := range s.acc.touched {
+			hits := int(s.acc.distinct[local])
 			if hits < minHits {
 				continue
 			}
-			sel.push(score(id, hits))
+			if seg.Deleted != nil && seg.Deleted(local) {
+				continue
+			}
+			if topK > 0 {
+				// Bounded selection: only the candidate budget survives,
+				// and the ordering is total (score desc, ID asc — global
+				// ids are unique across segments), so the heap's output
+				// is exactly the monolithic full sort's prefix.
+				sel.push(score(local, hits))
+			} else {
+				cands = append(cands, score(local, hits))
+			}
 		}
+	}
+
+	if topK > 0 {
 		// The sorted selection aliases the pooled buffer; it is consumed
 		// entirely within this query's fine phase, before the buffer's
 		// next reuse.
@@ -882,29 +984,21 @@ func (s *Searcher) coarse(ctx context.Context, query []byte, mode CoarseMode, mi
 		s.candBuf = out[:0]
 		return out, nil
 	}
-
-	cands := make([]Candidate, 0, len(s.acc.touched))
-	for _, id := range s.acc.touched {
-		hits := int(s.acc.distinct[id])
-		if hits < minHits {
-			continue
-		}
-		cands = append(cands, score(id, hits))
-	}
 	sort.Slice(cands, func(i, j int) bool { return candBetter(cands[i], cands[j]) })
 	return cands, nil
 }
 
-// accumulateSerial walks every posting list into the searcher's
-// accumulator on the calling goroutine — the workers ≤ 1 path.
-func (s *Searcher) accumulateSerial(ctx context.Context, mode CoarseMode, st *SearchStats) (*diagAcc, error) {
+// accumulateSerial walks every posting list of one segment into the
+// searcher's accumulator on the calling goroutine — the workers ≤ 1
+// path. Accumulator slots are the segment's local ids.
+func (s *Searcher) accumulateSerial(ctx context.Context, seg Segment, mode CoarseMode, st *SearchStats) (*diagAcc, error) {
 	s.acc.reset()
 	diag := newDiagAcc(mode == CoarseDiagonal)
 	for t, qPositions := range s.termSet {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		df, listBytes := s.idx.ReaderStats(t, &s.it)
+		df, listBytes := seg.Index.ReaderStats(t, &s.it)
 		if df == 0 {
 			continue
 		}
@@ -936,15 +1030,16 @@ func (s *Searcher) accumulateSerial(ctx context.Context, mode CoarseMode, st *Se
 	return diag, nil
 }
 
-// accumulateSharded partitions the query's posting lists across
-// workers, each folding its share into a private per-shard accumulator
-// (and diagonal accumulator under CoarseDiagonal), then merges the
-// shards into the searcher's accumulator. Interval counts are sums, so
-// the merged totals are identical to the serial walk no matter how the
-// lists were partitioned — which is what makes the sharded coarse
-// byte-identical to the serial one. Workers check ctx before claiming
-// each list; on cancellation nothing merges and ctx.Err() is returned.
-func (s *Searcher) accumulateSharded(ctx context.Context, mode CoarseMode, workers int, st *SearchStats) (*diagAcc, error) {
+// accumulateSharded partitions the query's posting lists over one
+// segment across workers, each folding its share into a private
+// per-shard accumulator (and diagonal accumulator under
+// CoarseDiagonal), then merges the shards into the searcher's
+// accumulator. Interval counts are sums, so the merged totals are
+// identical to the serial walk no matter how the lists were partitioned
+// — which is what makes the sharded coarse byte-identical to the serial
+// one. Workers check ctx before claiming each list; on cancellation
+// nothing merges and ctx.Err() is returned.
+func (s *Searcher) accumulateSharded(ctx context.Context, seg Segment, mode CoarseMode, workers int, st *SearchStats) (*diagAcc, error) {
 	jobs := s.termJobs[:0]
 	for t, qPositions := range s.termSet {
 		jobs = append(jobs, termJob{t: t, qPos: qPositions})
@@ -966,7 +1061,7 @@ func (s *Searcher) accumulateSharded(ctx context.Context, mode CoarseMode, worke
 				if i >= len(jobs) {
 					return
 				}
-				sh.accumulate(s.idx, jobs[i])
+				sh.accumulate(seg.Index, jobs[i])
 			}
 		}()
 	}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"nucleodb/internal/align"
+	"nucleodb/internal/db"
+	"nucleodb/internal/index"
+)
+
+// splitSegments re-indexes the fixture's store as k contiguous segments
+// with random boundaries, returning the core segment descriptors.
+func splitSegments(t *testing.T, f *fixture, rng *rand.Rand, k int) []Segment {
+	t.Helper()
+	n := f.store.Len()
+	// k-1 distinct random cut points; empty segments are not allowed by
+	// construction (each segment gets at least one record).
+	cuts := map[int]bool{}
+	for len(cuts) < k-1 {
+		cuts[1+rng.Intn(n-1)] = true
+	}
+	bounds := []int{0}
+	for i := 1; i < n; i++ {
+		if cuts[i] {
+			bounds = append(bounds, i)
+		}
+	}
+	bounds = append(bounds, n)
+
+	segs := make([]Segment, 0, k)
+	for s := 0; s+1 < len(bounds); s++ {
+		var sub db.Store
+		for i := bounds[s]; i < bounds[s+1]; i++ {
+			sub.Add(f.store.Desc(i), f.store.Sequence(i))
+		}
+		idx, err := index.Build(&sub, f.idx.Options())
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs = append(segs, Segment{Index: idx, Base: bounds[s]})
+	}
+	return segs
+}
+
+// TestSegmentedSearchEquivalence is the engine's segmentation
+// invariant: a searcher over any segmentation of the collection
+// returns results byte-identical to the monolithic searcher, for every
+// coarse mode, both fine kernels, and serial and sharded worker
+// settings — segment count 1 through 8 with random boundaries.
+func TestSegmentedSearchEquivalence(t *testing.T) {
+	f := makeFixture(t, 77, index.Options{K: 9, StoreOffsets: true})
+	mono := newTestSearcher(t, f)
+	rng := rand.New(rand.NewSource(78))
+
+	type fineCfg struct {
+		mode   FineMode
+		kernel FineKernel
+	}
+	fines := []fineCfg{
+		{FineBanded, FineKernelScalar},
+		{FineFull, FineKernelScalar},
+		{FineFull, FineKernelBitvector},
+	}
+	modes := []CoarseMode{CoarseDistinct, CoarseTotal, CoarseNormalised, CoarseDiagonal}
+	grids := []struct{ coarse, fine int }{{0, 0}, {3, 2}}
+
+	for k := 1; k <= 8; k++ {
+		segs := splitSegments(t, f, rng, k)
+		seg, err := NewSegmentedSearcher(segs, f.store, align.DefaultScoring(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seg.NumSegments() != k {
+			t.Fatalf("NumSegments = %d, want %d", seg.NumSegments(), k)
+		}
+		for _, cm := range modes {
+			for _, fc := range fines {
+				for _, g := range grids {
+					opts := DefaultOptions()
+					opts.CoarseMode = cm
+					opts.FineMode = fc.mode
+					opts.FineKernel = fc.kernel
+					opts.CoarseWorkers = g.coarse
+					opts.FineWorkers = g.fine
+					opts.BothStrands = cm == CoarseDiagonal // exercise the strand loop too
+					name := fmt.Sprintf("k=%d mode=%v fine=%v/%v workers=%d/%d",
+						k, cm, fc.mode, fc.kernel, g.coarse, g.fine)
+
+					var wantSt, gotSt SearchStats
+					want, err := mono.SearchWithStats(f.query, opts, &wantSt)
+					if err != nil {
+						t.Fatalf("%s: mono: %v", name, err)
+					}
+					got, err := seg.SearchWithStats(f.query, opts, &gotSt)
+					if err != nil {
+						t.Fatalf("%s: segmented: %v", name, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s: segmented results diverge\n got %+v\nwant %+v", name, got, want)
+					}
+					// Postings decoded are partitioned, never duplicated
+					// or dropped, across segments.
+					if gotSt.PostingsDecoded != wantSt.PostingsDecoded {
+						t.Errorf("%s: PostingsDecoded %d != %d", name, gotSt.PostingsDecoded, wantSt.PostingsDecoded)
+					}
+					strands := 1
+					if opts.BothStrands {
+						strands = 2
+					}
+					if gotSt.Segments != k*strands {
+						t.Errorf("%s: stats Segments = %d, want %d", name, gotSt.Segments, k*strands)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSegmentedDeletedFilter checks the tombstone filter: a deleted
+// record vanishes from results, everything else is unchanged relative
+// to a searcher without the filter.
+func TestSegmentedDeletedFilter(t *testing.T) {
+	f := makeFixture(t, 79, index.Options{K: 9, StoreOffsets: true})
+	plain := newTestSearcher(t, f)
+	opts := DefaultOptions()
+	opts.Limit = 0
+	base, err := plain.Search(f.query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) < 2 {
+		t.Skip("fixture produced too few results")
+	}
+	dead := base[0].ID
+
+	seg := Segment{Index: f.idx, Deleted: func(local int) bool { return local == dead }}
+	filtered, err := NewSegmentedSearcher([]Segment{seg}, f.store, align.DefaultScoring(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := filtered.Search(f.query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base[:0:0]
+	for _, r := range base {
+		if r.ID != dead {
+			want = append(want, r)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tombstone filter broke results\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestNewSegmentedSearcherValidates(t *testing.T) {
+	f := makeFixture(t, 80, index.Options{K: 9, StoreOffsets: true})
+	if _, err := NewSegmentedSearcher(nil, f.store, align.DefaultScoring(), nil); err == nil {
+		t.Error("empty segment list accepted")
+	}
+	// Gap in the global id space.
+	if _, err := NewSegmentedSearcher([]Segment{{Index: f.idx, Base: 1}}, f.store, align.DefaultScoring(), nil); err == nil {
+		t.Error("non-contiguous base accepted")
+	}
+	// Sequence count mismatch with the source.
+	var empty db.Store
+	if _, err := NewSegmentedSearcher([]Segment{{Index: f.idx}}, &empty, align.DefaultScoring(), nil); err == nil {
+		t.Error("source length mismatch accepted")
+	}
+	// Differing build options across segments.
+	other, err := index.Build(f.store, index.Options{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := []Segment{{Index: f.idx}, {Index: other, Base: f.store.Len()}}
+	var double db.Store
+	for i := 0; i < f.store.Len(); i++ {
+		double.Add(f.store.Desc(i), f.store.Sequence(i))
+	}
+	for i := 0; i < f.store.Len(); i++ {
+		double.Add(f.store.Desc(i), f.store.Sequence(i))
+	}
+	if _, err := NewSegmentedSearcher(segs, &double, align.DefaultScoring(), nil); err == nil {
+		t.Error("mixed build options accepted")
+	}
+}

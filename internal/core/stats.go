@@ -36,11 +36,17 @@ type SearchStats struct {
 	// coarse phase — the sequences that may receive fine alignment.
 	CoarseCandidates int
 	// CoarseShards is the number of coarse accumulation shards used,
-	// summed over strands: 1 per strand on the serial path, the
-	// effective CoarseWorkers when the posting-list walk was sharded.
-	// The per-shard postings counters (PostingLists, PostingsDecoded,
-	// PostingsBytesRead) always sum to the serial values.
+	// summed over strands and segments: 1 per strand per segment on the
+	// serial path, the effective CoarseWorkers per segment when the
+	// posting-list walk was sharded. The per-shard postings counters
+	// (PostingLists, PostingsDecoded, PostingsBytesRead) always sum to
+	// the serial values.
 	CoarseShards int
+	// Segments is the number of index segments the coarse phase
+	// evaluated, summed over strands: the segment count of the searcher's
+	// snapshot per strand (so a both-strands search over 3 segments
+	// reports 6).
+	Segments int
 	// PrescreenRejections is the number of candidates the ungapped
 	// x-drop prescreen discarded before fine alignment (including
 	// candidates with no shared seed to extend).
@@ -95,6 +101,7 @@ func (st *SearchStats) Add(o SearchStats) {
 	st.CoarseSequences += o.CoarseSequences
 	st.CoarseCandidates += o.CoarseCandidates
 	st.CoarseShards += o.CoarseShards
+	st.Segments += o.Segments
 	st.PrescreenRejections += o.PrescreenRejections
 	st.FineAlignments += o.FineAlignments
 	st.BitvectorAlignments += o.BitvectorAlignments

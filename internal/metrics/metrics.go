@@ -38,6 +38,24 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // Reset sets the counter back to zero.
 func (c *Counter) Reset() { c.v.Store(0) }
 
+// Gauge is a settable int64 level (unlike Counter, it moves both ways
+// — segment counts, queue depths), safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by n (n may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Reset sets the gauge back to zero.
+func (g *Gauge) Reset() { g.v.Store(0) }
+
 // numBuckets covers 1µs up to ~9 minutes with power-of-two bucket
 // boundaries; slower observations land in the last bucket.
 const numBuckets = 30
@@ -155,6 +173,7 @@ func (h *Histogram) Quantiles(qs ...float64) []time.Duration {
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
@@ -162,6 +181,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 	}
 }
@@ -176,6 +196,18 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the named histogram, creating it on first use.
@@ -198,6 +230,9 @@ func (r *Registry) Reset() {
 	for _, c := range r.counters {
 		c.Reset()
 	}
+	for _, g := range r.gauges {
+		g.Reset()
+	}
 	for _, h := range r.hists {
 		h.Reset()
 	}
@@ -215,6 +250,7 @@ type HistogramSnapshot struct {
 // Snapshot is a point-in-time copy of a registry's instruments.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
@@ -224,10 +260,14 @@ func (r *Registry) Snapshot() Snapshot {
 	defer r.mu.Unlock()
 	s := Snapshot{
 		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
 		qs := h.Quantiles(0.50, 0.90, 0.99)
@@ -265,6 +305,16 @@ func (r *Registry) WriteText(w io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		if _, err := fmt.Fprintf(w, "%-32s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%-32s %d\n", name, s.Gauges[name]); err != nil {
 			return err
 		}
 	}

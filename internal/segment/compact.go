@@ -1,0 +1,123 @@
+package segment
+
+import (
+	"fmt"
+
+	"nucleodb/internal/db"
+	"nucleodb/internal/index"
+)
+
+// DefaultMaxSegments is the default compaction trigger: compaction
+// folds segments while a set holds more than this many.
+const DefaultMaxSegments = 4
+
+// maxRunLen caps how many segments one compaction folds at a time, so
+// a single merge's transient memory stays bounded.
+const maxRunLen = 8
+
+// PickRun selects the adjacent run [lo, hi) of segments the size-tiered
+// policy would fold next, or (-1, -1) when the set already satisfies
+// the policy (at most maxSegments segments). The run starts at the
+// adjacent pair with the smallest combined record count — merging the
+// smallest neighbours first keeps total rewrite work O(n·log n) across
+// the database's life, the classic size-tiered argument — and extends
+// over neighbours of similar tier (no larger than twice the run's
+// accumulated count), so a wave of small appends folds in one merge
+// instead of repeatedly rewriting into a large segment.
+func PickRun(segs []*Segment, maxSegments int) (int, int) {
+	if maxSegments < 1 {
+		maxSegments = 1
+	}
+	if len(segs) <= maxSegments {
+		return -1, -1
+	}
+	lo := 0
+	best := segs[0].Len() + segs[1].Len()
+	for i := 1; i+1 < len(segs); i++ {
+		if c := segs[i].Len() + segs[i+1].Len(); c < best {
+			best, lo = c, i
+		}
+	}
+	hi, run := lo+2, best
+	for hi < len(segs) && hi-lo < maxRunLen && segs[hi].Len() <= 2*run {
+		run += segs[hi].Len()
+		hi++
+	}
+	for lo > 0 && hi-lo < maxRunLen && segs[lo-1].Len() <= 2*run {
+		run += segs[lo-1].Len()
+		lo--
+	}
+	return lo, hi
+}
+
+// MergeRun folds an adjacent run of segments into one new segment named
+// name (pass "" for an unpersisted segment), reclaiming tombstones:
+// deleted records become empty stubs — the description survives, the
+// sequence bytes and postings are dropped — so global ids stay dense
+// and stable while the dead data's cost disappears.
+//
+// Without tombstones the merged index comes from index.Merge, which is
+// byte-identical to a fresh build over the concatenated records except
+// for the stop list (union of the inputs'; identical when StopFraction
+// is 0, the default). With tombstones the index is rebuilt from the
+// stubbed store. Either way search results over the merged segment are
+// identical to the unmerged run's — the crash-safety suite reopens and
+// re-checks this at every fault point.
+//
+// The inputs are immutable and only read, so MergeRun runs safely off
+// the writer lock, concurrent with searches over the same segments.
+func MergeRun(name string, run []*Segment) (*Segment, error) {
+	if len(run) == 0 {
+		return nil, fmt.Errorf("segment: empty merge run")
+	}
+	deleted := 0
+	for _, g := range run {
+		deleted += g.NumDeleted()
+	}
+	store := &db.Store{}
+	for _, g := range run {
+		for i := 0; i < g.Len(); i++ {
+			if g.DeletedLocal(i) {
+				store.Add(g.Store.Desc(i), nil)
+			} else {
+				store.Add(g.Store.Desc(i), g.Store.Sequence(i))
+			}
+		}
+	}
+	var idx *index.Index
+	var err error
+	if deleted == 0 && len(run) > 1 {
+		idx = run[0].Index
+		for _, g := range run[1:] {
+			idx, err = index.Merge(idx, g.Index)
+			if err != nil {
+				return nil, fmt.Errorf("segment: merge: %w", err)
+			}
+		}
+	} else {
+		// Tombstones to reclaim (or a single-segment flatten): rebuild
+		// from the stubbed store rather than aliasing an input index.
+		idx, err = index.Build(store, run[0].Index.Options())
+		if err != nil {
+			return nil, fmt.Errorf("segment: merge: %w", err)
+		}
+	}
+	return New(name, store, idx, run[0].Base)
+}
+
+// Flatten reduces a whole set to a single (store, index) pair — the
+// legacy monolithic layout. A one-segment set with no tombstones
+// returns its own store and index (so flattening a paged single-segment
+// database preserves its disk-opened index); anything else merges into
+// fresh in-memory structures.
+func Flatten(s *Set) (*db.Store, *index.Index, error) {
+	segs := s.Segments()
+	if len(segs) == 1 && segs[0].NumDeleted() == 0 {
+		return segs[0].Store, segs[0].Index, nil
+	}
+	merged, err := MergeRun("", segs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return merged.Store, merged.Index, nil
+}

@@ -138,7 +138,10 @@ func TestServerHammerShardedCoarse(t *testing.T) {
 				}
 			}(i, q)
 		}
-		waveWG.Wait() // quiesce before the Append, per the contract
+		// Quiescing here is no longer required by any contract (Append is
+		// snapshot-swap safe); it keeps the serial reference comparison
+		// deterministic across waves.
+		waveWG.Wait()
 
 		rng := rand.New(rand.NewSource(int64(900 + wave)))
 		recs := make([]nucleodb.Record, 2)
@@ -161,12 +164,12 @@ func TestServerHammerShardedCoarse(t *testing.T) {
 // TestServerHammerAcrossAppends drives the full service path — worker
 // pool, searcher pool, result cache — through waves of concurrent
 // searches separated by Appends. Each wave quiesces before its Append
-// (the documented contract: Append must not run concurrently with
-// Search), but direct get/put traffic on the server's result cache
-// keeps hammering straight through the index swap, since the cache
-// never touches the index. After every swap the next wave's fresh
-// queries must still answer 200 with results, proving stale pooled
-// searchers are dropped, not reused.
+// so the swap boundary is deterministic (truly overlapped traffic is
+// TestServerHammerLiveCompaction's job), while direct get/put traffic
+// on the server's result cache keeps hammering straight through the
+// snapshot swap, since the cache never touches the index. After every
+// swap the next wave's fresh queries must still answer 200 with
+// results, proving stale pooled searchers are dropped, not reused.
 func TestServerHammerAcrossAppends(t *testing.T) {
 	db := testDB(t)
 	s := newTestServer(t, db, func(cfg *Config) {
@@ -178,9 +181,8 @@ func TestServerHammerAcrossAppends(t *testing.T) {
 
 	// Cache-only traffic runs for the whole test including during
 	// Appends: gets and puts over a key space wider than the capacity,
-	// so evictions overlap the index swap. This must not go through
-	// the handler — a miss there would start a real search
-	// concurrently with Append, which the contract forbids.
+	// so evictions overlap the snapshot swap. It bypasses the handler so
+	// cache behaviour is isolated from search behaviour.
 	stop := make(chan struct{})
 	var cacheWG sync.WaitGroup
 	for w := 0; w < 2; w++ {
@@ -231,7 +233,7 @@ func TestServerHammerAcrossAppends(t *testing.T) {
 				}
 			}(i, q)
 		}
-		waveWG.Wait() // quiesce: no search may overlap the Append below
+		waveWG.Wait() // deterministic swap boundary for the wave structure
 
 		rng := rand.New(rand.NewSource(int64(wave)))
 		recs := make([]nucleodb.Record, 4)
@@ -268,5 +270,116 @@ func TestServerHammerAcrossAppends(t *testing.T) {
 
 	if st := s.CacheStats(); st.Entries > 4 {
 		t.Errorf("cache grew past its capacity: %d entries", st.Entries)
+	}
+}
+
+// TestServerHammerLiveCompaction is the no-quiesce hammer the
+// segmented index makes legal: HTTP searches, Appends, Deletes, and
+// background compaction all overlap freely. Every in-flight request
+// runs against whichever segment-set snapshot it pinned at checkout,
+// so every response must be a well-formed 200 no matter how many
+// swaps happen mid-flight. Run under -race this is the service-level
+// lockdown for the lock-free read path.
+func TestServerHammerLiveCompaction(t *testing.T) {
+	db := testDB(t)
+	db.SetMaxSegments(3)
+	compactErrs := make(chan error, 8)
+	db.StartCompactor(func(err error) {
+		select {
+		case compactErrs <- err:
+		default:
+		}
+	})
+	defer db.StopCompactor()
+
+	s := newTestServer(t, db, func(cfg *Config) {
+		cfg.Workers = 8
+		cfg.QueueDepth = 64
+		cfg.CacheSize = 4
+	})
+	h := s.Handler()
+	queries := testQueries(db, 8, 600)
+
+	// Searchers: continuous handler traffic with no coordination with
+	// the writer whatsoever.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				path := "/search?q=" + queries[rng.Intn(len(queries))]
+				if rng.Intn(2) == 0 {
+					path += "&nocache=1"
+				}
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("status %d during live compaction: %s", rec.Code, rec.Body.String())
+					return
+				}
+				if !strings.Contains(rec.Body.String(), `"results"`) {
+					t.Errorf("response lacks results: %s", rec.Body.String())
+					return
+				}
+			}
+		}(int64(700 + w))
+	}
+
+	// Writer: a stream of small Appends plus a few Deletes, each one
+	// triggering the background compactor, all while searches fly.
+	rng := rand.New(rand.NewSource(800))
+	for round := 0; round < 10; round++ {
+		recs := make([]nucleodb.Record, 3)
+		for i := range recs {
+			codes := make([]byte, 200)
+			for j := range codes {
+				codes[j] = byte(rng.Intn(4))
+			}
+			recs[i] = nucleodb.Record{
+				Desc:     fmt.Sprintf("live-%d-%d", round, i),
+				Sequence: dna.String(codes),
+			}
+		}
+		if err := db.Append(recs); err != nil {
+			t.Fatalf("round %d: append: %v", round, err)
+		}
+		if round%3 == 2 {
+			if err := db.Delete(db.NumSequences() - 1); err != nil {
+				t.Fatalf("round %d: delete: %v", round, err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	db.StopCompactor()
+	select {
+	case err := <-compactErrs:
+		t.Fatalf("background compaction: %v", err)
+	default:
+	}
+
+	// The compactor had every chance to run; the folded database still
+	// finds a record appended mid-hammer.
+	if got := db.NumSegments(); got > 3+1 {
+		t.Logf("note: %d segments after hammer (compactor may not have caught up)", got)
+	}
+	target := db.Sequence(db.NumSequences() - 2) // -1 may be tombstoned
+	req := httptest.NewRequest(http.MethodGet, "/search?q="+target[:100]+"&nocache=1", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-hammer query: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "live-") {
+		t.Errorf("record appended during the hammer not found: %s", rec.Body.String())
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nucleodb/internal/align"
@@ -36,6 +37,7 @@ import (
 	"nucleodb/internal/dna"
 	"nucleodb/internal/index"
 	"nucleodb/internal/metrics"
+	"nucleodb/internal/segment"
 	"nucleodb/internal/stats"
 )
 
@@ -108,20 +110,41 @@ func DefaultBuildConfig() BuildConfig {
 	}
 }
 
-// Database couples a compressed sequence store with its interval index
-// and evaluates partitioned queries. It is safe for concurrent Search
-// calls: each in-flight search borrows a searcher (coarse accumulators
-// and decode scratch) from an internal pool, so concurrent queries run
-// genuinely in parallel instead of serialising on a lock.
+// Database is a collection of immutable segments — (compressed
+// sequence store, interval index) pairs over contiguous record ids —
+// evaluated together by partitioned queries. It is safe for concurrent
+// use: searches borrow scratch searchers from an internal pool and run
+// against an atomic snapshot of the segment set, while writers
+// (Append, Delete, Compact) build replacement segments off to the side
+// and publish a new snapshot with one pointer swap. A search never
+// blocks on a writer and a writer never waits for searches to drain.
 type Database struct {
-	store *db.Store
-	idx   *index.Index
+	// snap is the live segment-set snapshot. Readers Load it once per
+	// operation and use that set throughout; writers publish replacement
+	// sets under mu.
+	snap atomic.Pointer[segment.Set]
 
 	scoring align.Scoring
 
-	// searchers pools *core.Searcher scratch for the current index.
-	// Append swaps d.idx; stale pooled searchers are detected by
-	// comparing their index pointer and dropped on checkout.
+	// mu serialises layout mutations: Append, Delete, snapshot swaps,
+	// Save/SaveSegmented, compactor start/stop. Searches never take it.
+	mu          sync.Mutex
+	dir         string // segmented directory this database persists to; "" = in-memory
+	nextSeg     int    // next unused segment file number when dir != ""
+	maxSegments int    // compaction trigger (see SetMaxSegments)
+	retired     []*index.Index
+
+	// compactMu serialises compaction work (the merge itself runs
+	// outside mu so searches and appends proceed during it).
+	compactMu sync.Mutex
+
+	compactorStop chan struct{}
+	compactorKick chan struct{}
+	compactorWG   sync.WaitGroup
+
+	// searchers pools *core.Searcher scratch for the current snapshot.
+	// Writers swap d.snap; stale pooled searchers are detected by
+	// comparing their snapshot token and dropped on checkout.
 	searchers sync.Pool
 
 	statsOnce sync.Once
@@ -129,23 +152,53 @@ type Database struct {
 	statsErr  error
 }
 
-// getSearcher checks a searcher for the current index out of the pool,
-// constructing one when the pool is empty or holds searchers built for
-// a pre-Append index.
+// getSearcher loads the current snapshot and checks out a searcher
+// built for it. The returned set is the snapshot the searcher indexes —
+// use it (not a fresh Load) for descriptions and significance so one
+// search sees one consistent state.
 //
 //cafe:pooled callers must pair every checkout with putSearcher
-func (d *Database) getSearcher() (*core.Searcher, error) {
-	if s, ok := d.searchers.Get().(*core.Searcher); ok && s.Index() == d.idx {
-		return s, nil
-	}
-	return core.NewSearcher(d.idx, d.store, d.scoring)
+func (d *Database) getSearcher() (*core.Searcher, *segment.Set, error) {
+	set := d.snap.Load()
+	s, err := d.searcherFor(set)
+	return s, set, err
 }
 
-// putSearcher returns a searcher to the pool unless Append has replaced
-// the index since it was checked out.
+// searcherFor checks a searcher for the given snapshot out of the pool,
+// constructing one when the pool is empty or holds searchers built for
+// a superseded snapshot.
+//
+//cafe:pooled callers must pair every checkout with putSearcher
+func (d *Database) searcherFor(set *segment.Set) (*core.Searcher, error) {
+	if s, ok := d.searchers.Get().(*core.Searcher); ok && s.Snapshot() == any(set) {
+		return s, nil
+	}
+	return core.NewSegmentedSearcher(set.CoreSegments(), set.Source(), d.scoring, set)
+}
+
+// putSearcher returns a searcher to the pool unless a writer has
+// published a newer snapshot since it was checked out.
 func (d *Database) putSearcher(s *core.Searcher) {
-	if s.Index() == d.idx {
+	if s.Snapshot() == any(d.snap.Load()) {
 		d.searchers.Put(s)
+	}
+}
+
+// publish swaps in a new snapshot. Callers hold d.mu.
+func (d *Database) publish(set *segment.Set) {
+	d.snap.Store(set)
+	mSegments.Set(int64(set.Len()))
+}
+
+// kickCompactor nudges the background compactor, if one is running.
+// Callers hold d.mu.
+func (d *Database) kickCompactor() {
+	if d.compactorKick == nil {
+		return
+	}
+	select {
+	case d.compactorKick <- struct{}{}:
+	default:
 	}
 }
 
@@ -197,12 +250,34 @@ func buildFromStore(store *db.Store, cfg BuildConfig) (*Database, error) {
 }
 
 func newDatabase(store *db.Store, idx *index.Index, scoring Scoring) (*Database, error) {
-	s := scoring.internal()
-	searcher, err := core.NewSearcher(idx, store, s)
+	g, err := segment.New("", store, idx, 0)
 	if err != nil {
 		return nil, fmt.Errorf("nucleodb: %w", err)
 	}
-	d := &Database{store: store, idx: idx, scoring: s}
+	set, err := segment.NewSet([]*segment.Segment{g})
+	if err != nil {
+		return nil, fmt.Errorf("nucleodb: %w", err)
+	}
+	return newDatabaseSet(set, scoring, "", 0)
+}
+
+// newDatabaseSet wraps a segment set as a Database. dir binds segmented
+// persistence ("" for in-memory); nextSeg is the next unused segment
+// file number inside dir.
+func newDatabaseSet(set *segment.Set, scoring Scoring, dir string, nextSeg int) (*Database, error) {
+	d := &Database{
+		scoring:     scoring.internal(),
+		dir:         dir,
+		nextSeg:     nextSeg,
+		maxSegments: segment.DefaultMaxSegments,
+	}
+	searcher, err := core.NewSegmentedSearcher(set.CoreSegments(), set.Source(), d.scoring, set)
+	if err != nil {
+		return nil, fmt.Errorf("nucleodb: %w", err)
+	}
+	d.mu.Lock()
+	d.publish(set)
+	d.mu.Unlock()
 	d.searchers.Put(searcher)
 	return d, nil
 }
@@ -213,15 +288,61 @@ const (
 	indexFile = "intervals.ndx"
 )
 
-// Save writes the database into directory dir, creating it if needed.
+// Save writes the database into directory dir in the legacy monolithic
+// layout (one store file, one index file), creating the directory if
+// needed. A multi-segment database is flattened first — tombstoned
+// records become empty stubs, so ids are preserved. See SaveSegmented
+// for the layout that keeps segments (and incremental Append) across
+// restarts.
 func (d *Database) Save(dir string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	store, idx, err := segment.Flatten(d.snap.Load())
+	if err != nil {
+		return fmt.Errorf("nucleodb: save: %w", err)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("nucleodb: save: %w", err)
 	}
-	if err := writeFileAtomic(filepath.Join(dir, storeFile), d.store.Save); err != nil {
+	if err := writeFileAtomic(filepath.Join(dir, storeFile), store.Save); err != nil {
 		return err
 	}
-	return writeFileAtomic(filepath.Join(dir, indexFile), d.idx.Save)
+	return writeFileAtomic(filepath.Join(dir, indexFile), idx.Save)
+}
+
+// SaveSegmented writes the database into directory dir in the
+// segmented layout — one store and index file per segment plus a
+// MANIFEST — and binds the database to dir: from then on Append,
+// Delete and Compact persist their changes there crash-safely (segment
+// files land before the manifest references them; the manifest is
+// replaced atomically). Open and OpenPaged detect the layout
+// automatically.
+func (d *Database) SaveSegmented(dir string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("nucleodb: save: %w", err)
+	}
+	old := d.snap.Load()
+	segs := make([]*segment.Segment, old.Len())
+	for i, g := range old.Segments() {
+		segs[i] = g.Renamed(segment.SegName(i))
+		if err := segment.WriteFiles(dir, segs[i]); err != nil {
+			return fmt.Errorf("nucleodb: save: %w", err)
+		}
+	}
+	set, err := segment.NewSet(segs)
+	if err != nil {
+		return fmt.Errorf("nucleodb: save: %w", err)
+	}
+	if err := segment.WriteManifest(dir, set, len(segs)); err != nil {
+		return fmt.Errorf("nucleodb: save: %w", err)
+	}
+	segment.GC(dir, set)
+	d.dir = dir
+	d.nextSeg = len(segs)
+	d.publish(set)
+	return nil
 }
 
 func writeFileAtomic(path string, write func(io.Writer) error) error {
@@ -246,10 +367,19 @@ func writeFileAtomic(path string, write func(io.Writer) error) error {
 	return nil
 }
 
-// Open loads a database saved with Save. Scoring is not persisted;
-// pass the scheme searches should use (DefaultScoring for the usual
-// parameters).
+// Open loads a database saved with Save or SaveSegmented (the layout
+// is detected by the presence of a MANIFEST). Scoring is not
+// persisted; pass the scheme searches should use (DefaultScoring for
+// the usual parameters). Opening a segmented directory binds the
+// database to it: Append, Delete and Compact persist there.
 func Open(dir string, scoring Scoring) (*Database, error) {
+	if segment.IsSegmented(dir) {
+		set, next, err := segment.OpenDir(dir, false)
+		if err != nil {
+			return nil, fmt.Errorf("nucleodb: %w", err)
+		}
+		return newDatabaseSet(set, scoring, dir, next)
+	}
 	sf, err := os.Open(filepath.Join(dir, storeFile))
 	if err != nil {
 		return nil, fmt.Errorf("nucleodb: open: %w", err)
@@ -275,9 +405,21 @@ func Open(dir string, scoring Scoring) (*Database, error) {
 // mode: the lexicon loads into memory but posting lists are read from
 // disk per query — the operating regime for collections larger than
 // memory, and the regime the original system was designed for. Call
-// Close when done. Save and Append are unsupported on a paged
-// database.
+// Close when done. Paged segments are read-only base segments: Append
+// indexes new records as fresh in-memory segments on top of them (and
+// persists the segments when the directory is segmented), so
+// incremental growth works in every mode. Only the legacy monolithic
+// Save of an unmodified paged database is unsupported (its one
+// disk-backed segment has no in-memory postings to rewrite); any
+// append or delete makes Save flatten through memory and succeed.
 func OpenPaged(dir string, scoring Scoring) (*Database, error) {
+	if segment.IsSegmented(dir) {
+		set, next, err := segment.OpenDir(dir, true)
+		if err != nil {
+			return nil, fmt.Errorf("nucleodb: %w", err)
+		}
+		return newDatabaseSet(set, scoring, dir, next)
+	}
 	sf, err := os.Open(filepath.Join(dir, storeFile))
 	if err != nil {
 		return nil, fmt.Errorf("nucleodb: open: %w", err)
@@ -299,9 +441,30 @@ func OpenPaged(dir string, scoring Scoring) (*Database, error) {
 	return d, nil
 }
 
-// Close releases resources held by a paged database (see OpenPaged).
-// It is a no-op for in-memory databases.
-func (d *Database) Close() error { return d.idx.Close() }
+// Close stops the background compactor (if running) and releases
+// resources held by paged segments, including disk-backed segments
+// retired by compaction (see OpenPaged). It is a no-op for in-memory
+// databases. No search may be in flight when Close is called.
+func (d *Database) Close() error {
+	d.StopCompactor()
+	d.mu.Lock()
+	retired := d.retired
+	d.retired = nil
+	set := d.snap.Load()
+	d.mu.Unlock()
+	var first error
+	for _, idx := range retired {
+		if err := idx.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, g := range set.Segments() {
+		if err := g.Index.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // SearchOptions controls one query evaluation.
 type SearchOptions struct {
@@ -453,11 +616,14 @@ type SearchStats struct {
 	// post-coarse phases.
 	CoarseCandidates int `json:"coarse_candidates"`
 	// CoarseShards is the number of coarse accumulation shards used,
-	// summed over strands: 1 per strand serially, the effective
-	// CoarseWorkers when the posting-list walk was sharded. The
-	// postings counters above are shard sums and always equal the
+	// summed over strands and segments: 1 per strand serially, the
+	// effective CoarseWorkers when the posting-list walk was sharded.
+	// The postings counters above are shard sums and always equal the
 	// serial values.
 	CoarseShards int `json:"coarse_shards"`
+	// Segments is the number of index segments the coarse phase
+	// evaluated, summed over strands.
+	Segments int `json:"segments"`
 	// PrescreenRejections is the number of candidates the ungapped
 	// extension prescreen discarded before fine alignment.
 	PrescreenRejections int `json:"prescreen_rejections"`
@@ -505,6 +671,7 @@ func (s *SearchStats) Add(o SearchStats) {
 	s.CoarseSequences += o.CoarseSequences
 	s.CoarseCandidates += o.CoarseCandidates
 	s.CoarseShards += o.CoarseShards
+	s.Segments += o.Segments
 	s.PrescreenRejections += o.PrescreenRejections
 	s.FineAlignments += o.FineAlignments
 	s.BitvectorAlignments += o.BitvectorAlignments
@@ -535,6 +702,7 @@ func searchStatsFrom(cs core.SearchStats) SearchStats {
 		CoarseSequences:     cs.CoarseSequences,
 		CoarseCandidates:    cs.CoarseCandidates,
 		CoarseShards:        cs.CoarseShards,
+		Segments:            cs.Segments,
 		PrescreenRejections: cs.PrescreenRejections,
 		FineAlignments:      cs.FineAlignments,
 		BitvectorAlignments: cs.BitvectorAlignments,
@@ -568,6 +736,9 @@ var (
 	hSearchLatency    = metrics.Default().Histogram("search_latency")
 	hCoarseLatency    = metrics.Default().Histogram("coarse_stage_latency")
 	hFineLatency      = metrics.Default().Histogram("fine_stage_latency")
+	// mSegments tracks the live snapshot's segment count (last
+	// database to publish wins; processes serve one database).
+	mSegments = metrics.Default().Gauge("segments_total")
 )
 
 // recordSearchMetrics folds one search's stats into the process-wide
@@ -666,7 +837,7 @@ func (d *Database) SearchCodesWithStats(codes []byte, opts SearchOptions) ([]Res
 // point: pre-encoded query, cooperative cancellation, and stats.
 func (d *Database) SearchCodesWithStatsContext(ctx context.Context, codes []byte, opts SearchOptions) ([]Result, SearchStats, error) {
 	var cst core.SearchStats
-	searcher, err := d.getSearcher()
+	searcher, set, err := d.getSearcher()
 	if err != nil {
 		return nil, SearchStats{}, fmt.Errorf("nucleodb: %w", err)
 	}
@@ -682,7 +853,7 @@ func (d *Database) SearchCodesWithStatsContext(ctx context.Context, codes []byte
 	for i, r := range rs {
 		out[i] = Result{
 			ID:           r.ID,
-			Desc:         d.store.Desc(r.ID),
+			Desc:         set.Desc(r.ID),
 			Score:        r.Score,
 			Identity:     r.Alignment.Identity(),
 			QueryStart:   r.Alignment.AStart,
@@ -693,7 +864,7 @@ func (d *Database) SearchCodesWithStatsContext(ctx context.Context, codes []byte
 		}
 		if statsErr == nil {
 			out[i].Bits = params.BitScore(r.Score)
-			out[i].EValue = params.EValue(r.Score, len(codes), d.store.TotalBases())
+			out[i].EValue = params.EValue(r.Score, len(codes), set.TotalBases())
 		}
 	}
 	return out, st, nil
@@ -725,55 +896,300 @@ func (d *Database) Alignment(query string, id int) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("nucleodb: query: %w", err)
 	}
-	if id < 0 || id >= d.store.Len() {
-		return "", fmt.Errorf("nucleodb: record id %d out of range [0,%d)", id, d.store.Len())
+	set := d.snap.Load()
+	if id < 0 || id >= set.NumSeqs() {
+		return "", fmt.Errorf("nucleodb: record id %d out of range [0,%d)", id, set.NumSeqs())
 	}
-	subject := d.store.Sequence(id)
+	subject := set.Sequence(id)
 	al := align.LocalLinear(codes, subject, d.scoring)
 	return align.Format(codes, subject, al, 60), nil
 }
 
-// Append adds records to the database incrementally: the new records
-// are indexed as a segment and merged with the existing index, which
-// costs far less than rebuilding when the database is large and the
-// batch small. Stopping decisions are per-segment (the merged stop
-// list is the union); rebuild from scratch to re-stop globally.
+// Append adds records to the database incrementally: the batch is
+// encoded and indexed as one new segment and published with a snapshot
+// swap, so the cost is proportional to the batch — the existing
+// segments (in-memory or paged) are never touched. Searches running
+// concurrently are unaffected; they finish against the snapshot they
+// started with. When the database is bound to a segmented directory
+// (SaveSegmented, or opened from one), the new segment is persisted
+// crash-safely before the swap.
 //
-// Append must not run concurrently with Search, SearchBatch or other
-// Append calls.
+// Appends accumulate segments; a background compactor (StartCompactor)
+// or explicit Compact calls fold them back down. Stopping decisions
+// are per-segment; rebuild from scratch to re-stop globally.
 func (d *Database) Append(records []Record) error {
-	if d.idx.Disk() {
-		return fmt.Errorf("nucleodb: Append is unsupported on a paged database; rebuild or merge offline with cafe-merge")
-	}
-	var seg db.Store
+	var store db.Store
 	for i, r := range records {
 		codes, err := dna.Encode([]byte(r.Sequence))
 		if err != nil {
 			return fmt.Errorf("nucleodb: record %d (%q): %w", i, r.Desc, err)
 		}
-		seg.Add(r.Desc, codes)
+		store.Add(r.Desc, codes)
 	}
-	segIdx, err := index.Build(&seg, d.idx.Options())
+	if store.Len() == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := d.snap.Load()
+	idx, err := index.Build(&store, old.Options())
 	if err != nil {
 		return fmt.Errorf("nucleodb: append: %w", err)
 	}
-	merged, err := index.Merge(d.idx, segIdx)
+	var name string
+	if d.dir != "" {
+		name = segment.SegName(d.nextSeg)
+	}
+	g, err := segment.New(name, &store, idx, old.NumSeqs())
 	if err != nil {
 		return fmt.Errorf("nucleodb: append: %w", err)
 	}
-	for i := 0; i < seg.Len(); i++ {
-		d.store.Add(seg.Desc(i), seg.Sequence(i))
-	}
-	searcher, err := core.NewSearcher(merged, d.store, d.scoring)
+	segs := append(append([]*segment.Segment{}, old.Segments()...), g)
+	set, err := segment.NewSet(segs)
 	if err != nil {
 		return fmt.Errorf("nucleodb: append: %w", err)
 	}
-	d.idx = merged
-	// Pooled searchers built for the old index are now stale;
-	// getSearcher drops them on checkout (their Index() pointer no
-	// longer matches). Prime the pool with one current searcher.
-	d.searchers.Put(searcher)
+	if d.dir != "" {
+		if err := segment.WriteFiles(d.dir, g); err != nil {
+			return fmt.Errorf("nucleodb: append: %w", err)
+		}
+		d.nextSeg++
+		if err := segment.WriteManifest(d.dir, set, d.nextSeg); err != nil {
+			// The orphaned segment files are garbage-collected on the
+			// next successful open or compaction.
+			return fmt.Errorf("nucleodb: append: %w", err)
+		}
+	}
+	d.publish(set)
+	d.kickCompactor()
 	return nil
+}
+
+// Delete tombstones records by global id: they disappear from search
+// results immediately, and their sequence data and postings are
+// reclaimed when compaction next folds their segment (descriptions
+// survive as empty stubs, so ids never renumber). Significance
+// statistics use the live database size, so surviving results score
+// identically before and after the physical reclaim. On a segmented
+// directory the tombstones persist in the manifest.
+func (d *Database) Delete(ids ...int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := d.snap.Load()
+	for _, id := range ids {
+		if id < 0 || id >= old.NumSeqs() {
+			return fmt.Errorf("nucleodb: record id %d out of range [0,%d)", id, old.NumSeqs())
+		}
+	}
+	bySeg := make(map[int][]int)
+	for _, id := range ids {
+		si, local := old.Locate(id)
+		bySeg[si] = append(bySeg[si], local)
+	}
+	segs := append([]*segment.Segment{}, old.Segments()...)
+	for si, locals := range bySeg {
+		g, err := segs[si].WithDeleted(locals)
+		if err != nil {
+			return fmt.Errorf("nucleodb: delete: %w", err)
+		}
+		segs[si] = g
+	}
+	set, err := segment.NewSet(segs)
+	if err != nil {
+		return fmt.Errorf("nucleodb: delete: %w", err)
+	}
+	if d.dir != "" {
+		if err := segment.WriteManifest(d.dir, set, d.nextSeg); err != nil {
+			return fmt.Errorf("nucleodb: delete: %w", err)
+		}
+	}
+	d.publish(set)
+	return nil
+}
+
+// SetMaxSegments sets the compaction trigger: Compact (and the
+// background compactor) folds segments while the set holds more than
+// n. The default is segment.DefaultMaxSegments; 1 compacts fully to a
+// single segment. Values below 1 are treated as 1.
+func (d *Database) SetMaxSegments(n int) {
+	if n < 1 {
+		n = 1
+	}
+	d.mu.Lock()
+	d.maxSegments = n
+	d.kickCompactor()
+	d.mu.Unlock()
+}
+
+// NumSegments returns the number of segments in the current snapshot.
+func (d *Database) NumSegments() int { return d.snap.Load().Len() }
+
+// NumDeleted returns the number of tombstoned records not yet
+// reclaimed by compaction.
+func (d *Database) NumDeleted() int { return d.snap.Load().NumDeleted() }
+
+// IsDeleted reports whether record id is tombstoned.
+func (d *Database) IsDeleted(id int) bool { return d.snap.Load().Deleted(id) }
+
+// Compact folds one run of adjacent segments chosen by the size-tiered
+// policy into a single segment, reclaiming tombstones, and returns how
+// many segments it folded — 0 when the snapshot already satisfies the
+// policy (at most SetMaxSegments segments, none of them tombstoned
+// runs). Call it in a loop (or use StartCompactor) to fold fully.
+//
+// The merge runs outside the writer lock, so searches and appends
+// proceed while it works; the swap revalidates that the merged run is
+// still live (a concurrent Delete replaces segment values) and gives
+// up harmlessly if not. Concurrent Compact calls serialise. On a
+// segmented directory the new segment and manifest are written
+// crash-safely before the swap, and superseded files are removed
+// after.
+func (d *Database) Compact() (int, error) {
+	d.compactMu.Lock()
+	defer d.compactMu.Unlock()
+
+	d.mu.Lock()
+	maxSegments := d.maxSegments
+	d.mu.Unlock()
+	set := d.snap.Load()
+	segs := set.Segments()
+	lo, hi := segment.PickRun(segs, maxSegments)
+	if lo < 0 {
+		return 0, nil
+	}
+	run := segs[lo:hi]
+
+	var name string
+	if d.dir != "" {
+		d.mu.Lock()
+		name = segment.SegName(d.nextSeg)
+		d.nextSeg++
+		d.mu.Unlock()
+	}
+	merged, err := segment.MergeRun(name, run)
+	if err != nil {
+		return 0, fmt.Errorf("nucleodb: compact: %w", err)
+	}
+	if d.dir != "" {
+		if err := segment.WriteFiles(d.dir, merged); err != nil {
+			segment.RemoveFiles(d.dir, name)
+			return 0, fmt.Errorf("nucleodb: compact: %w", err)
+		}
+	}
+
+	d.mu.Lock()
+	cur := d.snap.Load()
+	curSegs := cur.Segments()
+	live := len(curSegs) >= hi
+	for i := lo; live && i < hi; i++ {
+		live = curSegs[i] == segs[i]
+	}
+	if !live {
+		// A concurrent Delete replaced a segment in the run after we
+		// merged it; swapping now would resurrect the deleted records.
+		// Abandon this output — the next Compact re-picks.
+		d.mu.Unlock()
+		if d.dir != "" {
+			segment.RemoveFiles(d.dir, name)
+		}
+		return 0, nil
+	}
+	newSegs := make([]*segment.Segment, 0, len(curSegs)-(hi-lo)+1)
+	newSegs = append(newSegs, curSegs[:lo]...)
+	newSegs = append(newSegs, merged)
+	newSegs = append(newSegs, curSegs[hi:]...)
+	newSet, err := segment.NewSet(newSegs)
+	if err != nil {
+		d.mu.Unlock()
+		if d.dir != "" {
+			segment.RemoveFiles(d.dir, name)
+		}
+		return 0, fmt.Errorf("nucleodb: compact: %w", err)
+	}
+	if d.dir != "" {
+		if err := segment.WriteManifest(d.dir, newSet, d.nextSeg); err != nil {
+			// Do NOT remove the merged segment's files here: the failure
+			// may have struck after the manifest rename, in which case
+			// the new manifest already references them. Unreferenced
+			// files are garbage-collected on the next open instead.
+			d.mu.Unlock()
+			return 0, fmt.Errorf("nucleodb: compact: %w", err)
+		}
+	}
+	for _, g := range run {
+		if g.Index.Disk() {
+			// Keep superseded disk-backed indexes open until Close: a
+			// search may still hold a snapshot that reads them.
+			d.retired = append(d.retired, g.Index)
+		}
+	}
+	d.publish(newSet)
+	d.mu.Unlock()
+	if d.dir != "" {
+		segment.GC(d.dir, newSet)
+	}
+	return hi - lo, nil
+}
+
+// StartCompactor launches the background compactor: a goroutine that
+// folds segments (repeated Compact calls) whenever the snapshot
+// exceeds the SetMaxSegments trigger — after every Append, and once at
+// start. onErr, when non-nil, receives compaction errors; the
+// compactor keeps running after reporting one. Idempotent while
+// running. StopCompactor (or Close) stops it and waits for it to
+// finish.
+func (d *Database) StartCompactor(onErr func(error)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.compactorStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	kick := make(chan struct{}, 1)
+	d.compactorStop, d.compactorKick = stop, kick
+	d.compactorWG.Add(1)
+	go func() {
+		defer d.compactorWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-kick:
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					n, err := d.Compact()
+					if err != nil {
+						if onErr != nil {
+							onErr(err)
+						}
+						break
+					}
+					if n == 0 {
+						break
+					}
+				}
+			}
+		}
+	}()
+	d.kickCompactor()
+}
+
+// StopCompactor stops the background compactor and waits for any
+// in-flight compaction to finish. No-op when none is running.
+func (d *Database) StopCompactor() {
+	d.mu.Lock()
+	stop := d.compactorStop
+	d.compactorStop, d.compactorKick = nil, nil
+	d.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	d.compactorWG.Wait()
 }
 
 // HSPs returns up to max high-scoring segment pairs of the query
@@ -786,17 +1202,18 @@ func (d *Database) HSPs(query string, id, max, minScore int) ([]Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("nucleodb: query: %w", err)
 	}
-	if id < 0 || id >= d.store.Len() {
-		return nil, fmt.Errorf("nucleodb: record id %d out of range [0,%d)", id, d.store.Len())
+	set := d.snap.Load()
+	if id < 0 || id >= set.NumSeqs() {
+		return nil, fmt.Errorf("nucleodb: record id %d out of range [0,%d)", id, set.NumSeqs())
 	}
-	subject := d.store.Sequence(id)
+	subject := set.Sequence(id)
 	params, statsErr := d.Statistics()
 	als := align.LocalAll(codes, subject, d.scoring, minScore, max)
 	out := make([]Result, len(als))
 	for i, al := range als {
 		out[i] = Result{
 			ID:           id,
-			Desc:         d.store.Desc(id),
+			Desc:         set.Desc(id),
 			Score:        al.Score,
 			Identity:     al.Identity(),
 			QueryStart:   al.AStart,
@@ -806,28 +1223,33 @@ func (d *Database) HSPs(query string, id, max, minScore int) ([]Result, error) {
 		}
 		if statsErr == nil {
 			out[i].Bits = params.BitScore(al.Score)
-			out[i].EValue = params.EValue(al.Score, len(codes), d.store.TotalBases())
+			out[i].EValue = params.EValue(al.Score, len(codes), set.TotalBases())
 		}
 	}
 	return out, nil
 }
 
-// NumSequences returns the number of records in the database.
-func (d *Database) NumSequences() int { return d.store.Len() }
+// NumSequences returns the number of records in the database,
+// tombstoned records included (ids stay dense and stable).
+func (d *Database) NumSequences() int { return d.snap.Load().NumSeqs() }
 
-// TotalBases returns the number of bases across all records.
-func (d *Database) TotalBases() int { return d.store.TotalBases() }
+// TotalBases returns the number of bases across all live
+// (non-tombstoned) records.
+func (d *Database) TotalBases() int { return d.snap.Load().TotalBases() }
 
 // Sequence returns record id's sequence as IUPAC letters.
-func (d *Database) Sequence(id int) string { return dna.String(d.store.Sequence(id)) }
+func (d *Database) Sequence(id int) string { return dna.String(d.snap.Load().Sequence(id)) }
 
 // Desc returns record id's description.
-func (d *Database) Desc(id int) string { return d.store.Desc(id) }
+func (d *Database) Desc(id int) string { return d.snap.Load().Desc(id) }
 
-// Stats summarises database storage.
+// Stats summarises database storage. Byte and term counts are summed
+// over segments.
 type Stats struct {
 	NumSequences  int
 	TotalBases    int
+	Segments      int // segments in the current snapshot
+	Deleted       int // tombstoned records awaiting compaction
 	StoreBytes    int // compressed sequence data
 	IndexBytes    int // lexicon + postings + tables
 	PostingsBytes int
@@ -838,14 +1260,20 @@ type Stats struct {
 
 // Stats returns storage and index statistics.
 func (d *Database) Stats() Stats {
-	return Stats{
-		NumSequences:  d.store.Len(),
-		TotalBases:    d.store.TotalBases(),
-		StoreBytes:    d.store.EncodedBytes(),
-		IndexBytes:    d.idx.SizeBytes(),
-		PostingsBytes: d.idx.PostingsBytes(),
-		TermsIndexed:  d.idx.NumTermsIndexed(),
-		TermsStopped:  d.idx.NumStopped(),
-		IntervalLen:   d.idx.K(),
+	set := d.snap.Load()
+	st := Stats{
+		NumSequences: set.NumSeqs(),
+		TotalBases:   set.TotalBases(),
+		Segments:     set.Len(),
+		Deleted:      set.NumDeleted(),
+		IntervalLen:  set.Segments()[0].Index.K(),
 	}
+	for _, g := range set.Segments() {
+		st.StoreBytes += g.Store.EncodedBytes()
+		st.IndexBytes += g.Index.SizeBytes()
+		st.PostingsBytes += g.Index.PostingsBytes()
+		st.TermsIndexed += g.Index.NumTermsIndexed()
+		st.TermsStopped += g.Index.NumStopped()
+	}
+	return st
 }

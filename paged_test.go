@@ -49,7 +49,7 @@ func TestOpenPagedMatchesInMemory(t *testing.T) {
 	}
 }
 
-func TestOpenPagedRejectsSaveAndAppend(t *testing.T) {
+func TestOpenPagedRejectsMonolithicSave(t *testing.T) {
 	recs, _, _ := testRecords(92)
 	built, err := Build(recs, DefaultBuildConfig())
 	if err != nil {
@@ -64,11 +64,69 @@ func TestOpenPagedRejectsSaveAndAppend(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer paged.Close()
+	// An unmodified paged database is one disk-backed segment with no
+	// in-memory postings to rewrite; the legacy monolithic Save must
+	// refuse rather than write a torn copy.
 	if err := paged.Save(filepath.Join(t.TempDir(), "copy")); err == nil {
-		t.Error("Save on paged database accepted")
+		t.Error("Save on unmodified paged database accepted")
 	}
-	if err := paged.Append([]Record{{Desc: "x", Sequence: "ACGTACGTACGT"}}); err == nil {
-		t.Error("Append on paged database accepted")
+}
+
+// TestPagedAppend pins the fix for Append on paged databases: the
+// disk-backed index becomes a read-only base segment and the batch is
+// indexed as a fresh in-memory segment on top, so incremental growth
+// works in paged mode and new records are searchable immediately.
+func TestPagedAppend(t *testing.T) {
+	recs, query, _ := testRecords(92)
+	built, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := built.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	paged, err := OpenPaged(dir, DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer paged.Close()
+
+	extra := Record{Desc: "appended exact match", Sequence: query}
+	if err := paged.Append([]Record{extra}); err != nil {
+		t.Fatalf("Append on paged database: %v", err)
+	}
+	if got, want := paged.NumSequences(), len(recs)+1; got != want {
+		t.Fatalf("NumSequences = %d, want %d", got, want)
+	}
+	if got := paged.NumSegments(); got != 2 {
+		t.Fatalf("NumSegments = %d, want 2", got)
+	}
+	rs, err := paged.Search(query, DefaultSearchOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rs {
+		if r.ID == len(recs) && r.Desc == extra.Desc {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("appended record missing from results: %+v", rs)
+	}
+
+	// The grown database matches an in-memory build of the same records.
+	mem, err := Build(append(append([]Record{}, recs...), extra), DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mem.Search(query, DefaultSearchOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs, want) {
+		t.Errorf("paged append results diverge from monolithic build:\n%+v\n%+v", rs, want)
 	}
 }
 

@@ -1,0 +1,273 @@
+package nucleodb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// searchGrid is the public-API option matrix the equivalence suite
+// compares across: both coarse rankings, both fine phases and kernels,
+// strand handling, prescreen, and serial vs parallel workers.
+func searchGrid() map[string]SearchOptions {
+	grid := map[string]SearchOptions{}
+	base := DefaultSearchOptions()
+	grid["default"] = base
+
+	diag := base
+	diag.Diagonal = true
+	grid["diagonal"] = diag
+
+	exact := base
+	exact.Exact = true
+	exact.FineKernel = "bitvector"
+	grid["exact-bitvector"] = exact
+
+	strands := base
+	strands.BothStrands = true
+	strands.Prescreen = 60
+	grid["strands-prescreen"] = strands
+
+	parallel := base
+	parallel.CoarseWorkers = 3
+	parallel.FineWorkers = 2
+	grid["parallel"] = parallel
+	return grid
+}
+
+// splitRecords cuts recs into k non-empty contiguous batches at random
+// boundaries.
+func splitRecords(rng *rand.Rand, recs []Record, k int) [][]Record {
+	cuts := map[int]bool{}
+	for len(cuts) < k-1 {
+		cuts[1+rng.Intn(len(recs)-1)] = true
+	}
+	var out [][]Record
+	start := 0
+	for i := 1; i < len(recs); i++ {
+		if cuts[i] {
+			out = append(out, recs[start:i])
+			start = i
+		}
+	}
+	return append(out, recs[start:])
+}
+
+// buildSegmented builds the same collection as Build(recs) but in k
+// append batches, leaving the segments unfolded.
+func buildSegmented(t *testing.T, recs []Record, k int, rng *rand.Rand) *Database {
+	t.Helper()
+	batches := splitRecords(rng, recs, k)
+	db, err := Build(batches[0], DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetMaxSegments(math.MaxInt32)
+	for _, b := range batches[1:] {
+		if err := db.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.NumSegments(); got != k {
+		t.Fatalf("built %d segments, want %d", got, k)
+	}
+	return db
+}
+
+func mustEqualResults(t *testing.T, label string, db, mono *Database, query string) {
+	t.Helper()
+	for name, opts := range searchGrid() {
+		want, err := mono.Search(query, opts)
+		if err != nil {
+			t.Fatalf("%s/%s: mono: %v", label, name, err)
+		}
+		got, err := db.Search(query, opts)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", label, name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s/%s: results diverge from monolithic build\n got %+v\nwant %+v", label, name, got, want)
+		}
+	}
+}
+
+// TestSegmentedEquivalenceProperty is the tentpole's lockdown: for
+// random record streams split into k append batches (k = 1..8), the
+// segmented database answers byte-identically to a monolithic build of
+// the same records — across the whole search-option grid, at every
+// compaction state from fully unfolded to fully folded.
+func TestSegmentedEquivalenceProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property matrix skipped in -short mode (covered by the full run and CI's segments-equivalence job)")
+	}
+	for trial := 0; trial < 2; trial++ {
+		recs, query, _ := testRecords(int64(300 + trial))
+		mono, err := Build(recs, DefaultBuildConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(400 + trial)))
+		for k := 1; k <= 8; k++ {
+			db := buildSegmented(t, recs, k, rng)
+			mustEqualResults(t, fmt.Sprintf("trial%d/k%d/unfolded", trial, k), db, mono, query)
+
+			// Batch answers match single-query answers segment-for-segment.
+			batch, err := db.SearchBatch([]string{query, query[:120]}, DefaultSearchOptions(), 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			single, err := mono.Search(query[:120], DefaultSearchOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(batch[1], single) {
+				t.Fatalf("trial%d/k%d: batch diverges", trial, k)
+			}
+
+			// Fold one step at a time, re-proving equivalence at every
+			// intermediate compaction state.
+			db.SetMaxSegments(1)
+			for step := 0; ; step++ {
+				n, err := db.Compact()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n == 0 {
+					break
+				}
+				mustEqualResults(t, fmt.Sprintf("trial%d/k%d/fold%d", trial, k, step), db, mono, query)
+			}
+			if got := db.NumSegments(); got != 1 {
+				t.Fatalf("full compaction left %d segments", got)
+			}
+		}
+	}
+}
+
+// TestSegmentedSaveReloadEquivalence checks both persistence paths out
+// of a multi-segment state: SaveSegmented round-trips the layout
+// (in-memory and paged), and legacy Save flattens to a byte-compatible
+// monolithic database.
+func TestSegmentedSaveReloadEquivalence(t *testing.T) {
+	recs, query, _ := testRecords(310)
+	mono, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(311))
+	db := buildSegmented(t, recs, 4, rng)
+
+	segDir := filepath.Join(t.TempDir(), "segdb")
+	if err := db.SaveSegmented(segDir); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := Open(segDir, DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reloaded.NumSegments(); got != 4 {
+		t.Fatalf("reloaded %d segments, want 4", got)
+	}
+	mustEqualResults(t, "segmented-reload", reloaded, mono, query)
+
+	paged, err := OpenPaged(segDir, DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer paged.Close()
+	mustEqualResults(t, "segmented-paged", paged, mono, query)
+
+	flatDir := filepath.Join(t.TempDir(), "flatdb")
+	if err := db.Save(flatDir); err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Open(flatDir, DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := flat.NumSegments(); got != 1 {
+		t.Fatalf("legacy Save kept %d segments", got)
+	}
+	mustEqualResults(t, "flattened", flat, mono, query)
+}
+
+// TestDeleteEquivalence: tombstoned records vanish immediately and
+// survivors score identically to a database where the deleted records
+// were empty stubs from the start — before AND after compaction
+// physically reclaims them (ids never renumber, significance uses live
+// bases).
+func TestDeleteEquivalence(t *testing.T) {
+	recs, query, family := testRecords(320)
+	rng := rand.New(rand.NewSource(321))
+	db := buildSegmented(t, recs, 3, rng)
+
+	// Delete one family member (a guaranteed strong hit) and two noise
+	// records.
+	var dead []int
+	for id := range family {
+		dead = append(dead, id)
+		break
+	}
+	dead = append(dead, len(recs)-1, len(recs)-7)
+	if err := db.Delete(dead...); err != nil {
+		t.Fatal(err)
+	}
+	if db.NumDeleted() != len(dead) {
+		t.Fatalf("NumDeleted = %d, want %d", db.NumDeleted(), len(dead))
+	}
+	for _, id := range dead {
+		if !db.IsDeleted(id) {
+			t.Fatalf("record %d not tombstoned", id)
+		}
+	}
+
+	// Reference: same records with the deleted ones as empty stubs.
+	stubbed := append([]Record{}, recs...)
+	for _, id := range dead {
+		stubbed[id].Sequence = ""
+	}
+	ref, err := Build(stubbed, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.TotalBases() != ref.TotalBases() {
+		t.Fatalf("live bases %d != stub build %d", db.TotalBases(), ref.TotalBases())
+	}
+	mustEqualResults(t, "tombstoned", db, ref, query)
+
+	// Compaction reclaims the tombstones without changing any answer.
+	db.SetMaxSegments(1)
+	for {
+		n, err := db.Compact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+	}
+	if db.NumDeleted() != 0 {
+		t.Fatalf("%d tombstones survived full compaction", db.NumDeleted())
+	}
+	if db.TotalBases() != ref.TotalBases() {
+		t.Fatalf("live bases changed across compaction: %d != %d", db.TotalBases(), ref.TotalBases())
+	}
+	mustEqualResults(t, "compacted", db, ref, query)
+
+	// Deleting everything leaves a searchable empty database.
+	if err := db.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete(0); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := db.Delete(-1); err == nil {
+		t.Error("negative id accepted")
+	}
+	if err := db.Delete(db.NumSequences()); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+}
