@@ -87,7 +87,7 @@ lint-budget:
 	@start=$$(date +%s); \
 	$(GO) run ./cmd/cafe-lint -format json -baseline lint.baseline ./... > cafe-lint.json || [ $$? -eq 1 ]; \
 	end=$$(date +%s); took=$$((end - start)); \
-	grep -A 40 '"pass_timings"' cafe-lint.json || true; \
+	grep -A 60 '"pass_timings"' cafe-lint.json || true; \
 	echo "lint wall clock: $${took}s (budget $(LINT_BUDGET)s)"; \
 	[ $$took -le $(LINT_BUDGET) ]
 
@@ -98,6 +98,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzPostingsDecode$$' -fuzztime=2s ./internal/postings
 	$(GO) test -run='^$$' -fuzz='^FuzzKmerRoundtrip$$' -fuzztime=2s ./internal/kmer
 	$(GO) test -run='^$$' -fuzz='^FuzzSequenceDecode$$' -fuzztime=2s ./internal/db
+	$(GO) test -run='^$$' -fuzz='^FuzzManifestDecode$$' -fuzztime=2s ./internal/segment
 	$(GO) test -run='^$$' -fuzz='^FuzzBitvectorAlign$$' -fuzztime=2s ./internal/align
 
 # End-to-end smoke over cafe-serve: build the binary, start it on a

@@ -128,7 +128,7 @@ func TestRunFormatSARIF(t *testing.T) {
 //	go test ./cmd/cafe-lint -run TestRunSARIFGolden -update
 func TestRunSARIFGolden(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-C", fixtureModule, "-format", "sarif", "./poolesc", "./aliaspkg"}, &out, &errb); code != 1 {
+	if code := run([]string{"-C", fixtureModule, "-format", "sarif", "./poolesc", "./aliaspkg", "./frozenpkg", "./snappkg", "./lockpkg"}, &out, &errb); code != 1 {
 		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errb.String())
 	}
 	golden := filepath.Join("testdata", "sarif.golden")

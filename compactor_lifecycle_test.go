@@ -1,0 +1,57 @@
+package nucleodb
+
+import "testing"
+
+// TestCompactorLifecycle pins the compactor facade's idempotence
+// contract: StartCompactor while running is a no-op, StopCompactor is
+// safe on a database whose compactor never started or already
+// stopped, and the pair can cycle. A lifecycle bug here deadlocks or
+// double-closes the stop channel, so the test passing at all is the
+// assertion.
+func TestCompactorLifecycle(t *testing.T) {
+	recs, _, _ := testRecords(91)
+	d, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Stop before any start: no-op.
+	d.StopCompactor()
+
+	errs := make(chan error, 16)
+	onErr := func(err error) { errs <- err }
+	d.StartCompactor(onErr)
+	// Second start while running: no-op, must not spawn a second
+	// goroutine or replace the stop channel of the first.
+	d.StartCompactor(onErr)
+
+	d.StopCompactor()
+	// Stop after stopped: no-op, must not close the channel twice.
+	d.StopCompactor()
+
+	// The compactor can come back after a stop.
+	d.StartCompactor(onErr)
+	d.StopCompactor()
+
+	select {
+	case err := <-errs:
+		t.Fatalf("compactor reported error: %v", err)
+	default:
+	}
+}
+
+// TestCompactorCloseWhileRunning pins that Close stops a running
+// compactor and that a StopCompactor after Close stays a no-op.
+func TestCompactorCloseWhileRunning(t *testing.T) {
+	recs, _, _ := testRecords(92)
+	d, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.StartCompactor(nil)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d.StopCompactor()
+}

@@ -93,6 +93,8 @@ func (sc *StripedScratch) resize(segLen int) {
 // strand; scoring a subject then never calls Scoring.Score. A profile
 // is immutable after Build and safe for concurrent Score calls with
 // distinct scratches.
+//
+//cafe:frozen
 type StripedProfile struct {
 	n       int      // query length
 	segLen  int      // words per column

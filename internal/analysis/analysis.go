@@ -134,11 +134,16 @@ func DefaultPasses() []Pass {
 		}},
 		&GoPass{},
 	}
-	// poolescape and alias run one shared dataflow between them.
+	// poolescape and alias run one shared dataflow between them, as do
+	// frozen and snapshot.
 	shared := &PoolShared{}
+	mut := &MutShared{}
 	return append(passes,
 		&PoolEscapePass{Shared: shared},
 		&AliasPass{Shared: shared},
+		&FrozenPass{Shared: mut},
+		&SnapshotPass{Shared: mut},
+		&LockOrderPass{},
 	)
 }
 
@@ -194,6 +199,7 @@ const (
 	hotpathDirective = "//cafe:hotpath"
 	allowDirective   = "//cafe:allow"
 	pooledDirective  = "//cafe:pooled"
+	frozenDirective  = "//cafe:frozen"
 )
 
 // isDirective reports whether comment text is the given directive,
@@ -267,6 +273,29 @@ func collectDirectives(prog *Program, pkg *Package) {
 					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
 						prog.pooledFns[obj] = true
 					}
+				}
+			}
+		}
+		// //cafe:frozen on type declarations: values of the type are
+		// immutable once published. The directive may sit on the type
+		// group's doc, the individual spec's doc, or a trailing line
+		// comment.
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			groupWide := commentGroupHas(gd.Doc, frozenDirective)
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !groupWide && !commentGroupHas(ts.Doc, frozenDirective) && !commentGroupHas(ts.Comment, frozenDirective) {
+					continue
+				}
+				if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+					prog.frozen[tn] = true
 				}
 			}
 		}

@@ -145,6 +145,43 @@ func TestAliasPassFixtures(t *testing.T) {
 	runPass(t, &analysis.AliasPass{}, "fixture/aliaspkg")
 }
 
+func TestFrozenPassFixtures(t *testing.T) {
+	runPass(t, &analysis.FrozenPass{}, "fixture/frozenpkg")
+}
+
+func TestSnapshotPassFixtures(t *testing.T) {
+	runPass(t, &analysis.SnapshotPass{}, "fixture/snappkg")
+}
+
+func TestLockOrderPassFixtures(t *testing.T) {
+	runPass(t, &analysis.LockOrderPass{}, "fixture/lockpkg")
+}
+
+// TestMutationPassesDisjoint checks the taint partition of the shared
+// mutation dataflow: the frozen pass must stay silent on the snapshot
+// fixtures (the conf type carries no //cafe:frozen) and the snapshot
+// pass on the frozen fixtures (no atomics there), and neither may
+// fire in the lock fixtures.
+func TestMutationPassesDisjoint(t *testing.T) {
+	prog := loadFixture(t)
+	for _, c := range []struct {
+		pass analysis.Pass
+		pkg  string
+	}{
+		{&analysis.FrozenPass{}, "fixture/snappkg"},
+		{&analysis.SnapshotPass{}, "fixture/frozenpkg"},
+		{&analysis.FrozenPass{}, "fixture/lockpkg"},
+		{&analysis.SnapshotPass{}, "fixture/lockpkg"},
+		{&analysis.LockOrderPass{}, "fixture/frozenpkg"},
+		{&analysis.LockOrderPass{}, "fixture/snappkg"},
+	} {
+		if f := analysis.Analyze(prog, []analysis.Pass{c.pass}, keepOnly(c.pkg)); len(f) > 0 {
+			t.Errorf("%s findings in %s:\n%s", c.pass.Name(), c.pkg,
+				strings.Join(analysis.Format(prog, f), "\n"))
+		}
+	}
+}
+
 // TestPoolPassesDisjoint checks the fact partition: the poolescape
 // pass must stay silent on the aliasing fixtures (views are not the
 // pooled object) and the alias pass on the direct-escape fixtures.

@@ -14,8 +14,11 @@ import (
 	"sort"
 )
 
-// Fact is what the pooled-buffer analyses know about one variable at
-// one program point.
+// Fact is what the flow-sensitive analyses know about one variable at
+// one program point. The pooled-buffer passes use Pooled/Params/Alias;
+// the frozen and snapshot passes use Frozen/Snap/Stale/Recv on the
+// same lattice (every component joins by union, so the shared engine
+// below serves both families).
 type Fact struct {
 	// Pooled marks memory owned by a pool: the result of
 	// (*sync.Pool).Get, of a //cafe:pooled function, or the value of a
@@ -29,11 +32,35 @@ type Fact struct {
 	// value with alias sites shares backing with a pool without being
 	// the pooled object itself.
 	Alias []token.Pos
+
+	// Frozen marks a //cafe:frozen value that may already be published
+	// (read from a global, returned by a function that hands out
+	// published values, reached from another tainted value): mutating
+	// it is a frozen-pass violation. Freshness needs no bit of its own:
+	// a value constructed in the current function simply carries no
+	// taint, so constructor-style mutation stays silent.
+	Frozen bool
+	// Snap marks a value loaded from an atomic.Pointer/atomic.Value
+	// snapshot, or memory reached from one: a read-only view.
+	Snap bool
+	// Elems weakens Frozen/Snap to the elements of a container whose
+	// spine is freshly allocated (append onto an untainted base copies
+	// the spine): storing INTO the container is fine, mutating through
+	// an element is not. Joining with a full taint drops the weakening.
+	Elems bool
+	// Stale marks a snapshot value retained across a swap point (a call
+	// that transitively performs an atomic Store/Swap): using it after
+	// the swap is a snapshot-pass violation.
+	Stale bool
+	// Recv marks the method receiver while computing mutation
+	// summaries, the receiver analogue of a Params bit.
+	Recv bool
 }
 
 // some reports whether the fact carries any information.
 func (f Fact) some() bool {
-	return f.Pooled || f.Params != 0 || len(f.Alias) > 0
+	return f.Pooled || f.Params != 0 || len(f.Alias) > 0 ||
+		f.Frozen || f.Snap || f.Stale || f.Recv
 }
 
 // withAlias returns f extended with one alias site, dropping Pooled:
@@ -49,6 +76,16 @@ func mergeFact(a, b Fact) Fact {
 		Pooled: a.Pooled || b.Pooled,
 		Params: a.Params | b.Params,
 		Alias:  a.Alias,
+		Frozen: a.Frozen || b.Frozen,
+		Snap:   a.Snap || b.Snap,
+		Stale:  a.Stale || b.Stale,
+		Recv:   a.Recv || b.Recv,
+	}
+	// Elems survives a join only when every tainted side is
+	// elements-only: none < elements-tainted < fully-tainted.
+	aT, bT := a.Frozen || a.Snap, b.Frozen || b.Snap
+	if (aT || bT) && !(aT && !a.Elems) && !(bT && !b.Elems) {
+		out.Elems = true
 	}
 	for _, p := range b.Alias {
 		out.Alias = addPos(out.Alias, p)
@@ -59,6 +96,10 @@ func mergeFact(a, b Fact) Fact {
 // factEqual reports whether two facts carry the same information.
 func factEqual(a, b Fact) bool {
 	if a.Pooled != b.Pooled || a.Params != b.Params || len(a.Alias) != len(b.Alias) {
+		return false
+	}
+	if a.Frozen != b.Frozen || a.Snap != b.Snap || a.Elems != b.Elems ||
+		a.Stale != b.Stale || a.Recv != b.Recv {
 		return false
 	}
 	for i := range a.Alias {

@@ -36,6 +36,9 @@ var passDescriptions = map[string]string{
 	"goroutine":  "goroutines must be WaitGroup-counted, Done()-cancellable, or joined through a drained channel",
 	"poolescape": "pooled scratch (sync.Pool.Get, //cafe:pooled sources) must not outlive the call that obtained it",
 	"alias":      "append/slice views over pooled backing must not escape; copy into a fresh buffer instead",
+	"frozen":     "//cafe:frozen values are immutable once published; mutate only inside construction, before the value escapes",
+	"lockorder":  "mutexes must pair Lock with Unlock on every path and be acquired in one module-wide order",
+	"snapshot":   "atomically loaded snapshots are read-only views and must not be retained across a swap point",
 	"directive":  "cafe: directives must be well-formed",
 }
 

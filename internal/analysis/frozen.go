@@ -1,0 +1,27 @@
+package analysis
+
+// The frozen pass: types annotated //cafe:frozen are immutable once
+// published. Construction is free — a value that never leaves the
+// function carries no taint — but once a value may be published (read
+// back from a package-level variable, or obtained from a function
+// whose summary says it hands out published values), every store into
+// it, and every call that passes it to a helper whose transitive
+// summary mutates the corresponding parameter or receiver, is a
+// violation. The dataflow itself lives in mutation.go and is shared
+// with the snapshot pass through MutShared.
+
+// FrozenPass reports post-publish mutation of //cafe:frozen values.
+type FrozenPass struct {
+	Shared *MutShared
+}
+
+// Name implements Pass.
+func (p *FrozenPass) Name() string { return "frozen" }
+
+// Run implements Pass.
+func (p *FrozenPass) Run(prog *Program, pkg *Package) []Finding {
+	if p.Shared == nil {
+		p.Shared = &MutShared{}
+	}
+	return p.Shared.analyze(prog, pkg).frozen
+}

@@ -1,0 +1,535 @@
+package analysis
+
+// The lockorder pass: module-wide mutex discipline.
+//
+// Within one function (and each function literal, analyzed as its own
+// root with no locks held — a goroutine payload does not run under
+// the spawner's locks) a may-held analysis over the CFG checks
+// pairing: acquiring a mutex already held (including a read/write
+// upgrade and a recursive RLock, both of which deadlock under Go's
+// writer-preferring RWMutex), unlocking a mutex no path holds,
+// unlocking in the wrong mode, panicking while a manually paired lock
+// is held, and reaching the function exit with a lock that has no
+// deferred unlock.
+//
+// Across functions, every acquisition that happens while another lock
+// is held — directly or inside a synchronously called function, found
+// through a transitive closure over the call graph restricted to
+// synchronous edges — records an ordering edge. Cycles in the
+// resulting module-wide acquisition graph (facade locking A then B
+// while the compactor locks B then A) are reported at each witness
+// site, and a synchronous call into a function that re-acquires a
+// lock already held is a self-deadlock.
+//
+// Lock identity is the declared variable: a struct field stands for
+// that field in every instance (instance-insensitive, the standard
+// stance for this class of linter), a local or global sync.Mutex for
+// itself. Locks the analysis cannot name (an element of a mutex
+// slice reached through arbitrary expressions) are skipped.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockOrderPass reports mutex pairing violations and lock-order
+// cycles. The analysis runs once for the whole module on first use
+// and buckets findings per package.
+type LockOrderPass struct {
+	once    bool
+	results map[*Package][]Finding
+}
+
+// Name implements Pass.
+func (p *LockOrderPass) Name() string { return "lockorder" }
+
+// Run implements Pass.
+func (p *LockOrderPass) Run(prog *Program, pkg *Package) []Finding {
+	if !p.once {
+		p.once = true
+		p.results = runLockOrder(prog)
+	}
+	return p.results[pkg]
+}
+
+// heldLock is the may-held state of one mutex at one program point.
+type heldLock struct {
+	// pos is the earliest acquisition site.
+	pos token.Pos
+	// write and read record the modes the lock may be held in.
+	write, read bool
+	// deferred is true only when every path has a deferred unlock
+	// scheduled for the lock.
+	deferred bool
+}
+
+// lockState maps mutex variables to their held state; absent means
+// held on no path.
+type lockState map[types.Object]heldLock
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeLockState joins src into dst (may-union) and reports change.
+func mergeLockState(dst, src lockState) bool {
+	changed := false
+	for obj, h := range src {
+		old, ok := dst[obj]
+		if !ok {
+			dst[obj] = h
+			changed = true
+			continue
+		}
+		m := heldLock{
+			pos:      old.pos,
+			write:    old.write || h.write,
+			read:     old.read || h.read,
+			deferred: old.deferred && h.deferred,
+		}
+		if h.pos < m.pos {
+			m.pos = h.pos
+		}
+		if m != old {
+			dst[obj] = m
+			changed = true
+		}
+	}
+	return changed
+}
+
+// lockEdge is one acquisition-order edge: second acquired while first
+// was held.
+type lockEdge struct {
+	first, second types.Object
+}
+
+type lockTracker struct {
+	prog     *Program
+	transAcq map[*types.Func]map[types.Object]token.Pos
+
+	pkg    *Package // package currently being analyzed
+	report bool
+
+	// edges and edgeOrder record the module-wide acquisition graph
+	// with the first witness site of every edge.
+	edges     map[lockEdge]Finding
+	edgeOrder []lockEdge
+	edgePkg   map[lockEdge]*Package
+
+	results map[*Package][]Finding
+	seen    map[string]bool
+}
+
+// runLockOrder analyzes the whole module and buckets findings per
+// package.
+func runLockOrder(prog *Program) map[*Package][]Finding {
+	cg := buildCallGraph(prog)
+	syncEdges, directAcq := collectSyncLocks(cg)
+	t := &lockTracker{
+		prog:     prog,
+		transAcq: transClosure(syncEdges, directAcq),
+		edges:    map[lockEdge]Finding{},
+		edgePkg:  map[lockEdge]*Package{},
+		results:  map[*Package][]Finding{},
+		seen:     map[string]bool{},
+	}
+	for _, pkg := range prog.Packages {
+		t.pkg = pkg
+		pkg.funcDecls(func(fd *ast.FuncDecl) {
+			t.analyzeRoot(fd.Body)
+			// Every function literal is its own root: its body does
+			// not run under the locks held where it was created.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					t.analyzeRoot(lit.Body)
+				}
+				return true
+			})
+		})
+	}
+	t.reportCycles()
+	return t.results
+}
+
+// collectSyncLocks walks every declaration, skipping function literals
+// and go statements, and returns the synchronous call edges plus the
+// mutexes each function directly acquires.
+func collectSyncLocks(cg *callGraph) (map[*types.Func][]*types.Func, map[*types.Func]map[types.Object]token.Pos) {
+	edges := map[*types.Func][]*types.Func{}
+	acq := map[*types.Func]map[types.Object]token.Pos{}
+	for fn, d := range cg.decls {
+		seen := map[*types.Func]bool{}
+		ast.Inspect(d.fd.Body, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(d.pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			switch mutexMethod(callee) {
+			case "Lock", "RLock", "TryLock", "TryRLock":
+				if lock := lockVarOf(d.pkg.Info, call); lock != nil {
+					m := acq[fn]
+					if m == nil {
+						m = map[types.Object]token.Pos{}
+						acq[fn] = m
+					}
+					if _, ok := m[lock]; !ok {
+						m[lock] = call.Pos()
+					}
+				}
+				return true
+			case "":
+			default:
+				return true // a release is not an edge
+			}
+			if _, inModule := cg.decls[callee]; inModule && !seen[callee] {
+				seen[callee] = true
+				edges[fn] = append(edges[fn], callee)
+			}
+			return true
+		})
+	}
+	return edges, acq
+}
+
+// mutexMethod returns the method name when fn is a method of
+// sync.Mutex or sync.RWMutex, else "".
+func mutexMethod(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.Underlying().(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return ""
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return ""
+	}
+	return fn.Name()
+}
+
+// lockVarOf names the mutex a Lock/Unlock call operates on: the
+// variable (field, local, or global) the receiver expression denotes.
+func lockVarOf(info *types.Info, call *ast.CallExpr) types.Object {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	switch x := unparen(sel.X).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[x]; ok {
+			if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+				return v
+			}
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			inner := *call
+			innerSel := *sel
+			innerSel.X = x.X
+			inner.Fun = &innerSel
+			return lockVarOf(info, &inner)
+		}
+	}
+	return nil
+}
+
+// analyzeRoot runs the may-held analysis over one function body.
+func (t *lockTracker) analyzeRoot(body *ast.BlockStmt) {
+	g := BuildCFG(body)
+	in := map[*Block]lockState{g.Entry: {}}
+	queued := map[*Block]bool{g.Entry: true}
+	work := []*Block{g.Entry}
+	t.report = false
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		st := in[blk].clone()
+		for _, n := range blk.Nodes {
+			t.transfer(st, n)
+		}
+		for _, succ := range blk.Succs {
+			changed := false
+			if in[succ] == nil {
+				in[succ] = st.clone()
+				changed = true
+			} else {
+				changed = mergeLockState(in[succ], st)
+			}
+			if changed && !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	t.report = true
+	for _, blk := range g.Blocks {
+		st := in[blk]
+		if st == nil {
+			st = lockState{}
+		} else {
+			st = st.clone()
+		}
+		for _, n := range blk.Nodes {
+			t.transfer(st, n)
+		}
+	}
+	if exit := in[g.Exit]; exit != nil {
+		for lock, h := range exit {
+			if !h.deferred {
+				t.emit(h.pos, fmt.Sprintf(
+					"%s may still be held at function exit without a deferred unlock; an early return or panic between here and the unlock leaks it", lockName(lock)))
+			}
+		}
+	}
+	t.report = false
+}
+
+// transfer applies one CFG node to the may-held state.
+func (t *lockTracker) transfer(st lockState, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		t.deferCall(st, n.Call)
+	case *ast.GoStmt:
+		// The payload runs outside this function's lock context; its
+		// body is analyzed as a separate root.
+	case *ast.RangeStmt:
+		t.walk(st, n.X) // the node stands for "evaluate X" only
+	case *ast.LabeledStmt:
+		t.transfer(st, n.Stmt)
+	default:
+		t.walk(st, n)
+	}
+}
+
+// walk visits the calls of an expression or statement in evaluation
+// order, skipping function literals and go payloads.
+func (t *lockTracker) walk(st lockState, n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.DeferStmt:
+			t.deferCall(st, x.Call)
+			return false
+		case *ast.CallExpr:
+			t.call(st, x)
+		}
+		return true
+	})
+}
+
+// deferCall handles a deferred call: a deferred unlock marks its lock
+// as safely paired on every path from here.
+func (t *lockTracker) deferCall(st lockState, call *ast.CallExpr) {
+	callee := calleeFunc(t.pkg.Info, call)
+	switch mutexMethod(callee) {
+	case "Unlock", "RUnlock":
+		if lock := lockVarOf(t.pkg.Info, call); lock != nil {
+			if h, ok := st[lock]; ok {
+				h.deferred = true
+				st[lock] = h
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		t.walk(st, arg)
+	}
+}
+
+// call applies one call expression: mutex operations update the held
+// state and fire the pairing checks; synchronous calls into functions
+// that acquire locks record ordering edges and self-deadlocks; a bare
+// panic while holding a manually paired lock leaks it.
+func (t *lockTracker) call(st lockState, call *ast.CallExpr) {
+	callee := calleeFunc(t.pkg.Info, call)
+	if m := mutexMethod(callee); m != "" {
+		lock := lockVarOf(t.pkg.Info, call)
+		if lock == nil {
+			return
+		}
+		switch m {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			t.acquire(st, lock, m, call.Pos())
+		case "Unlock", "RUnlock":
+			t.release(st, lock, m, call.Pos())
+		}
+		return
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := t.pkg.Info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "panic" {
+			for lock, h := range st {
+				if !h.deferred {
+					t.emit(call.Pos(), fmt.Sprintf(
+						"panic while %s is held without a deferred unlock; the lock leaks", lockName(lock)))
+				}
+			}
+			return
+		}
+	}
+	if callee == nil || len(st) == 0 {
+		return
+	}
+	for acquired := range t.transAcq[callee] {
+		if _, held := st[acquired]; held {
+			t.emit(call.Pos(), fmt.Sprintf(
+				"synchronous call into %s, which acquires %s while it is already held here — self-deadlock", callee.Name(), lockName(acquired)))
+			continue
+		}
+		for heldLk := range st {
+			t.recordEdge(heldLk, acquired, call.Pos())
+		}
+	}
+}
+
+// acquire applies a Lock/RLock, firing the double-acquire checks and
+// recording ordering edges against every lock already held.
+func (t *lockTracker) acquire(st lockState, lock types.Object, mode string, pos token.Pos) {
+	h, already := st[lock]
+	if already {
+		switch {
+		case mode == "Lock":
+			t.emit(pos, fmt.Sprintf("Lock of %s while it may already be held; sync mutexes are not reentrant — this deadlocks", lockName(lock)))
+		case mode == "RLock" && h.write:
+			t.emit(pos, fmt.Sprintf("RLock of %s while it may be write-held; read/write re-entry deadlocks", lockName(lock)))
+		case mode == "RLock":
+			t.emit(pos, fmt.Sprintf("recursive RLock of %s; a queued writer between the two acquisitions deadlocks both", lockName(lock)))
+		}
+	}
+	for other := range st {
+		if other != lock {
+			t.recordEdge(other, lock, pos)
+		}
+	}
+	m := heldLock{pos: pos, write: mode == "Lock" || mode == "TryLock", read: mode == "RLock" || mode == "TryRLock"}
+	if already {
+		m.pos = h.pos
+		m.write = m.write || h.write
+		m.read = m.read || h.read
+		m.deferred = h.deferred
+	}
+	st[lock] = m
+}
+
+// release applies an Unlock/RUnlock, firing the pairing checks.
+func (t *lockTracker) release(st lockState, lock types.Object, mode string, pos token.Pos) {
+	h, held := st[lock]
+	switch {
+	case !held:
+		t.emit(pos, fmt.Sprintf("%s of %s, which is not held on any path to this point", mode, lockName(lock)))
+	case mode == "Unlock" && !h.write:
+		t.emit(pos, fmt.Sprintf("Unlock of %s, which is only read-held; use RUnlock", lockName(lock)))
+	case mode == "RUnlock" && !h.read:
+		t.emit(pos, fmt.Sprintf("RUnlock of %s, which is only write-held; use Unlock", lockName(lock)))
+	}
+	delete(st, lock)
+}
+
+// recordEdge records one acquisition-order edge with its first
+// witness site.
+func (t *lockTracker) recordEdge(first, second types.Object, pos token.Pos) {
+	if !t.report {
+		return
+	}
+	e := lockEdge{first: first, second: second}
+	if _, ok := t.edges[e]; ok {
+		return
+	}
+	t.edges[e] = Finding{Pos: t.prog.Fset.Position(pos), PassName: "lockorder"}
+	t.edgePkg[e] = t.pkg
+	t.edgeOrder = append(t.edgeOrder, e)
+}
+
+// reportCycles finds cycles in the module-wide acquisition graph and
+// reports every participating edge at its witness site.
+func (t *lockTracker) reportCycles() {
+	adj := map[types.Object][]types.Object{}
+	for _, e := range t.edgeOrder {
+		adj[e.first] = append(adj[e.first], e.second)
+	}
+	reaches := func(from, to types.Object) bool {
+		seen := map[types.Object]bool{from: true}
+		work := []types.Object{from}
+		for len(work) > 0 {
+			cur := work[0]
+			work = work[1:]
+			if cur == to {
+				return true
+			}
+			for _, next := range adj[cur] {
+				if !seen[next] {
+					seen[next] = true
+					work = append(work, next)
+				}
+			}
+		}
+		return false
+	}
+	for _, e := range t.edgeOrder {
+		if !reaches(e.second, e.first) {
+			continue
+		}
+		f := t.edges[e]
+		f.Message = fmt.Sprintf(
+			"%s acquired while holding %s, but the opposite order occurs elsewhere in the module — lock-order cycle",
+			lockName(e.second), lockName(e.first))
+		pkg := t.edgePkg[e]
+		key := fmt.Sprintf("%s:%d:%s", f.Pos.Filename, f.Pos.Line, f.Message)
+		if !t.seen[key] {
+			t.seen[key] = true
+			t.results[pkg] = append(t.results[pkg], f)
+		}
+	}
+}
+
+// lockName renders a mutex variable for diagnostics.
+func lockName(lock types.Object) string {
+	if v, ok := lock.(*types.Var); ok && v.IsField() {
+		return "mutex field " + v.Name()
+	}
+	return "mutex " + lock.Name()
+}
+
+// emit records one finding against the package under analysis.
+func (t *lockTracker) emit(pos token.Pos, msg string) {
+	if !t.report {
+		return
+	}
+	p := t.prog.Fset.Position(pos)
+	key := fmt.Sprintf("%s:%d:%s", p.Filename, p.Line, msg)
+	if t.seen[key] {
+		return
+	}
+	t.seen[key] = true
+	t.results[t.pkg] = append(t.results[t.pkg], Finding{Pos: p, PassName: "lockorder", Message: msg})
+}

@@ -28,8 +28,10 @@ package analysis
 //     candBuf backing is annotated at the Searcher field instead).
 //   - Stores through plain pointers (*p = v) and type-switch bindings
 //     are not tracked.
-//   - Summaries are one level deep; a pooled value laundered through
-//     two helpers is invisible.
+//   - Summaries compose transitively over the module call graph
+//     (callgraph.go), callees-first with a summaryDepth-bounded
+//     fixpoint inside recursive components; only a laundering chain
+//     longer than summaryDepth hops through a cycle is invisible.
 
 import (
 	"fmt"
@@ -606,8 +608,11 @@ func (t *poolTracker) callFact(st FlowState, call *ast.CallExpr) Fact {
 	if t.prog.PooledFunc(callee) {
 		out.Pooled = true
 	}
+	// Summaries are consulted in both modes: in summary mode the map
+	// holds the callees-first partial results of the SCC fixpoint, so
+	// flow through any chain of helpers composes transitively.
 	var sum *funcSummary
-	if !t.summaryMode && t.sums != nil {
+	if t.sums != nil {
 		sum = t.sums[callee]
 		if sum != nil && sum.returnsPooled {
 			out.Pooled = true

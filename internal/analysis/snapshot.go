@@ -1,0 +1,29 @@
+package analysis
+
+// The snapshot pass: values loaded from an atomic.Pointer or
+// atomic.Value are read-only views of a published snapshot. Three
+// shapes are violations: a store through the loaded value (or memory
+// reached from it), a call passing it to a helper whose transitive
+// summary mutates it, and a snapshot retained across a swap point — a
+// call that transitively performs an atomic Store/Swap/CompareAndSwap
+// — and used afterwards. The value handed to the swap itself is
+// exempt: it is the new snapshot being published, not a stale view.
+// The dataflow lives in mutation.go, shared with the frozen pass
+// through MutShared.
+
+// SnapshotPass reports writes through and stale retention of
+// atomically loaded snapshot values.
+type SnapshotPass struct {
+	Shared *MutShared
+}
+
+// Name implements Pass.
+func (p *SnapshotPass) Name() string { return "snapshot" }
+
+// Run implements Pass.
+func (p *SnapshotPass) Run(prog *Program, pkg *Package) []Finding {
+	if p.Shared == nil {
+		p.Shared = &MutShared{}
+	}
+	return p.Shared.analyze(prog, pkg).snapshot
+}

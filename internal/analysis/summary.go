@@ -1,16 +1,22 @@
 package analysis
 
-// Per-function summaries give the pooled-buffer passes one level of
-// interprocedural flow: every function of the module is analyzed once
-// with its pointer-bearing parameters seeded as tracked facts, and
-// the dataflow records which parameter bits reach a return (the
-// helper hands its argument back), which reach a retention sink (the
-// helper stores, sends, or boxes its argument somewhere that outlives
-// the call), and whether the function returns pooled memory it
-// obtained itself. Summaries are computed from direct sources only —
-// a summary never consults another summary — so the depth is exactly
-// one helper level, which is what the small wrappers in this module
-// need (identity-shaped helpers, cache.put, putSearcher).
+// Per-function summaries give the pooled-buffer passes transitive
+// interprocedural flow: every function of the module is analyzed with
+// its pointer-bearing parameters seeded as tracked facts, and the
+// dataflow records which parameter bits reach a return (the helper
+// hands its argument back), which reach a retention sink (the helper
+// stores, sends, or boxes its argument somewhere that outlives the
+// call), and whether the function returns pooled memory it obtained
+// itself.
+//
+// Since PR 9 the computation runs over the module call graph
+// (callgraph.go): strongly connected components are processed
+// callees-first, so when a function is summarized every summary it
+// consults is already final — a pooled value laundered through any
+// chain of helpers stays visible. Within a recursive component the
+// analysis iterates to fixpoint, bounded by summaryDepth rounds
+// (facts are monotone bit sets, so the bound is a cost cap, not a
+// correctness device).
 
 import (
 	"go/ast"
@@ -35,51 +41,68 @@ type funcSummary struct {
 }
 
 // computeSummaries analyzes every function declaration of the module
-// once in summary mode, and also returns the declaration map used to
-// resolve named goroutine payloads.
+// in summary mode over the call graph, and also returns the
+// declaration map used to resolve named goroutine payloads. SCCs are
+// processed callees-first; recursive components iterate until their
+// summaries stop changing or summaryDepth rounds have run.
 func computeSummaries(prog *Program) (map[*types.Func]*funcSummary, map[*types.Func]goDecl) {
-	decls := map[*types.Func]goDecl{}
-	for _, pkg := range prog.Packages {
-		pkg.funcDecls(func(fd *ast.FuncDecl) {
-			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
-				decls[fn] = goDecl{fd: fd, pkg: pkg}
-			}
-		})
-	}
+	cg := buildCallGraph(prog)
 	sums := map[*types.Func]*funcSummary{}
-	for _, pkg := range prog.Packages {
-		pkg.funcDecls(func(fd *ast.FuncDecl) {
-			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
-			if !ok || prog.PooledFunc(fn) {
-				// Annotated sources need no summary: call sites read
-				// the directive itself.
-				return
+	summarize := func(fn *types.Func) bool {
+		if prog.PooledFunc(fn) {
+			// Annotated sources need no summary: call sites read the
+			// directive itself.
+			return false
+		}
+		d := cg.decls[fn]
+		t := &poolTracker{
+			prog:        prog,
+			pkg:         d.pkg,
+			decls:       cg.decls,
+			sums:        sums,
+			summaryMode: true,
+			cur:         &funcSummary{},
+			seen:        map[string]bool{},
+		}
+		init := FlowState{}
+		for i, id := range paramIdents(d.fd) {
+			if i >= 64 {
+				break
 			}
-			t := &poolTracker{
-				prog:        prog,
-				pkg:         pkg,
-				decls:       decls,
-				summaryMode: true,
-				cur:         &funcSummary{},
-				seen:        map[string]bool{},
+			if obj := d.pkg.Info.Defs[id]; obj != nil && hasPointers(obj.Type()) {
+				init[obj] = Fact{Params: 1 << uint(i)}
 			}
-			init := FlowState{}
-			for i, id := range paramIdents(fd) {
-				if i >= 64 {
-					break
-				}
-				if obj := pkg.Info.Defs[id]; obj != nil && hasPointers(obj.Type()) {
-					init[obj] = Fact{Params: 1 << uint(i)}
-				}
-			}
-			t.enclBody = fd.Body
-			t.analyzeBody(fd.Body, init)
-			if t.cur.returnsArg != 0 || t.cur.retainsArg != 0 || t.cur.returnsPooled {
-				sums[fn] = t.cur
-			}
-		})
+		}
+		t.enclBody = d.fd.Body
+		t.analyzeBody(d.fd.Body, init)
+		old := sums[fn]
+		if t.cur.returnsArg == 0 && t.cur.retainsArg == 0 && !t.cur.returnsPooled {
+			return false // zero summary: stays absent, absent stays absent
+		}
+		if old != nil && *old == *t.cur {
+			return false
+		}
+		sums[fn] = t.cur
+		return true
 	}
-	return sums, decls
+	for _, scc := range cg.sccs {
+		if len(scc) == 1 && !cg.recursive(scc[0]) {
+			summarize(scc[0])
+			continue
+		}
+		for round := 0; round < summaryDepth; round++ {
+			changed := false
+			for _, fn := range scc {
+				if summarize(fn) {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return sums, cg.decls
 }
 
 // paramIdents lists the declared parameter names of fd in signature

@@ -1,0 +1,86 @@
+// Package frozenpkg seeds the frozen-pass fixtures: every mutation of
+// a published //cafe:frozen value carries a trailing marker comment,
+// and the constructor-style shapes around them must stay silent.
+package frozenpkg
+
+// Config is the frozen type under test.
+//
+//cafe:frozen
+type Config struct {
+	Name  string
+	Peers []string
+	Limit int
+}
+
+// current is the published value: reading it taints.
+var current = &Config{Name: "seed", Peers: []string{"p"}}
+
+// published hands the published value out through a helper, so call
+// sites get the taint from the function's summary, not the global.
+func published() *Config { return current }
+
+// initPeers mutates its argument; call sites passing a published
+// value are the violations, fresh values stay silent.
+func initPeers(c *Config) {
+	c.Peers = append(c.Peers, "x")
+}
+
+// touch launders the mutation through one more hop: the transitive
+// summary must still carry initPeers's mutation bit.
+func touch(c *Config) {
+	initPeers(c)
+}
+
+// rename mutates its receiver.
+func (c *Config) rename(n string) {
+	c.Name = n
+}
+
+// fresh builds and initializes a new Config: every mutation here is
+// pre-publish and must stay silent, helpers included.
+func fresh() *Config {
+	c := &Config{Name: "a"}
+	c.Limit = 10
+	initPeers(c)
+	touch(c)
+	c.rename("b")
+	return c
+}
+
+func storeThroughGlobal() {
+	current.Limit = 5 //violation:frozen
+}
+
+func storeThroughHelper() {
+	c := published()
+	c.Name = "z" //violation:frozen
+}
+
+func passGlobalToMutator() {
+	initPeers(current) //violation:frozen
+}
+
+func passToTransitiveMutator() {
+	c := published()
+	touch(c) //violation:frozen
+}
+
+func elementStore() {
+	c := current
+	c.Peers[0] = "y" //violation:frozen
+}
+
+func mutateReceiver() {
+	published().rename("q") //violation:frozen
+}
+
+func waived() {
+	current.Limit = 1 //cafe:allow frozen fixture: proves the waiver suppresses exactly this line
+}
+
+// use keeps the fixture shapes alive for the type checker.
+var use = []func(){
+	storeThroughGlobal, storeThroughHelper, passGlobalToMutator,
+	passToTransitiveMutator, elementStore, mutateReceiver, waived,
+	func() { _ = fresh() },
+}

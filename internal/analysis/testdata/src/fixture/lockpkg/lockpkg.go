@@ -1,0 +1,175 @@
+// Package lockpkg seeds the lockorder-pass fixtures: pairing bugs
+// (double lock, read/write upgrade, unlock of unheld, wrong-mode
+// unlock), leak shapes (held at exit, panic while held), synchronous
+// self-deadlocks through the call graph, and a module-wide
+// acquisition-order cycle. The deferred and manually paired clean
+// shapes around them must stay silent.
+package lockpkg
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	// a/b are always taken in one order (clean); c/d are taken in both
+	// orders (the cycle).
+	a, b sync.Mutex
+	c, d sync.Mutex
+	n    int
+}
+
+// deferred is the sanctioned shape.
+func (s *store) deferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// manual pairs the lock by hand on every path (the result-cache
+// shape): clean under may-held analysis.
+func (s *store) manual() int {
+	s.mu.Lock()
+	if s.n > 0 {
+		v := s.n
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func (s *store) doubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() //violation:lockorder
+	s.mu.Unlock()
+}
+
+func (s *store) upgrade() {
+	s.rw.RLock()
+	s.rw.Lock() //violation:lockorder
+	s.rw.Unlock()
+}
+
+func (s *store) recursiveRLock() {
+	s.rw.RLock()
+	s.rw.RLock() //violation:lockorder
+	s.rw.RUnlock()
+}
+
+func (s *store) unlockCold() {
+	s.mu.Unlock() //violation:lockorder
+}
+
+func (s *store) wrongMode() {
+	s.rw.RLock()
+	s.rw.Unlock() //violation:lockorder
+}
+
+func (s *store) leakyReturn(cond bool) {
+	s.mu.Lock() //violation:lockorder
+	if cond {
+		return
+	}
+	s.mu.Unlock()
+}
+
+func (s *store) panicWhileHeld() {
+	s.mu.Lock()
+	if s.n < 0 {
+		panic("bad") //violation:lockorder
+	}
+	s.mu.Unlock()
+}
+
+// panicSafe panics under a deferred unlock: the lock cannot leak.
+func (s *store) panicSafe() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n < 0 {
+		panic("bad")
+	}
+}
+
+// lockedHelper acquires s.mu itself; calling it with s.mu held is a
+// self-deadlock at the call site.
+func (s *store) lockedHelper() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// viaWrapper launders the acquisition through one more hop for the
+// transitive-summary case.
+func (s *store) viaWrapper() {
+	s.lockedHelper()
+}
+
+func (s *store) selfDeadlock() {
+	s.mu.Lock()
+	s.lockedHelper() //violation:lockorder
+	s.mu.Unlock()
+}
+
+func (s *store) selfDeadlockDeep() {
+	s.mu.Lock()
+	s.viaWrapper() //violation:lockorder
+	s.mu.Unlock()
+}
+
+// spawned payloads run outside the spawner's lock context: calling
+// the locked helper from the goroutine is clean.
+func (s *store) spawns() {
+	s.mu.Lock()
+	go func() {
+		s.lockedHelper()
+	}()
+	s.mu.Unlock()
+}
+
+// lockAB1/lockAB2 take a before b consistently: one acquisition-order
+// edge, no cycle, clean.
+func (s *store) lockAB1() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *store) lockAB2() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.n++
+}
+
+// lockCD and lockDC take c/d in opposite orders: both witness sites
+// of the cycle are violations.
+func (s *store) lockCD() {
+	s.c.Lock()
+	s.d.Lock() //violation:lockorder
+	s.d.Unlock()
+	s.c.Unlock()
+}
+
+func (s *store) lockDC() {
+	s.d.Lock()
+	s.c.Lock() //violation:lockorder
+	s.c.Unlock()
+	s.d.Unlock()
+}
+
+func (s *store) waived() {
+	s.mu.Unlock() //cafe:allow lockorder fixture: proves the waiver suppresses exactly this line
+}
+
+// use keeps the fixture shapes alive for the type checker.
+var use = []func(*store){
+	(*store).deferred, (*store).doubleLock, (*store).upgrade,
+	(*store).recursiveRLock, (*store).unlockCold, (*store).wrongMode,
+	(*store).panicWhileHeld, (*store).panicSafe, (*store).selfDeadlock,
+	(*store).selfDeadlockDeep, (*store).spawns, (*store).lockAB1,
+	(*store).lockAB2, (*store).lockCD, (*store).lockDC, (*store).waived,
+	func(s *store) { _ = s.manual() },
+	func(s *store) { s.leakyReturn(true) },
+}

@@ -1,0 +1,81 @@
+// Package snappkg seeds the snapshot-pass fixtures: stores through
+// atomically loaded values, mutating helpers fed a snapshot, and
+// retention across a swap point. The read-only and publish shapes
+// around them must stay silent. The conf type is deliberately NOT
+// //cafe:frozen: snapshot taint comes from the atomic load itself.
+package snappkg
+
+import "sync/atomic"
+
+type conf struct {
+	limit int
+	tags  []string
+}
+
+var cur atomic.Pointer[conf]
+
+// publish is the swap point: callers' live snapshots go stale here,
+// except the value being published.
+func publish(c *conf) { cur.Store(c) }
+
+// load hands the snapshot out through a helper; call sites get the
+// taint from the summary's snapMask.
+func load() *conf { return cur.Load() }
+
+// mutate writes through its argument; feeding it a snapshot is the
+// violation, not the write in here.
+func mutate(c *conf) { c.limit++ }
+
+// readOnly is the sanctioned pattern: load, read, drop.
+func readOnly() int {
+	c := cur.Load()
+	return c.limit
+}
+
+// copyOnWrite is the sanctioned update: build a new value from the
+// snapshot's fields and publish it. The published value is exempt
+// from going stale.
+func copyOnWrite() {
+	c := cur.Load()
+	next := &conf{limit: c.limit + 1}
+	publish(next)
+	_ = next.limit
+}
+
+func storeThroughLoad() {
+	c := cur.Load()
+	c.limit = 1 //violation:snapshot
+}
+
+func elementStoreViaHelper() {
+	c := load()
+	c.tags[0] = "x" //violation:snapshot
+}
+
+func passLoadToMutator() {
+	mutate(cur.Load()) //violation:snapshot
+}
+
+func useAfterSwap() {
+	c := cur.Load()
+	next := &conf{limit: c.limit + 1}
+	publish(next)
+	_ = c.limit //violation:snapshot
+}
+
+func incThroughLoad() {
+	c := load()
+	c.limit++ //violation:snapshot
+}
+
+func waived() {
+	c := cur.Load()
+	c.limit = 0 //cafe:allow snapshot fixture: proves the waiver suppresses exactly this line
+}
+
+// use keeps the fixture shapes alive for the type checker.
+var use = []func(){
+	storeThroughLoad, elementStoreViaHelper, passLoadToMutator,
+	useAfterSwap, incThroughLoad, waived, copyOnWrite,
+	func() { _ = readOnly() },
+}

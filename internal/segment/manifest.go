@@ -55,7 +55,10 @@ func fault(point string) error {
 	return nil
 }
 
-// manifest is the on-disk JSON document.
+// manifest is the on-disk JSON document. Once written or decoded it is
+// a record of a published state.
+//
+//cafe:frozen
 type manifest struct {
 	Version  int           `json:"version"`
 	NextSeg  int           `json:"next_seg"`
@@ -65,6 +68,8 @@ type manifest struct {
 // manifestSeg describes one live segment: its file stem, its record
 // count (validated against the loaded files), and its tombstoned local
 // ids.
+//
+//cafe:frozen
 type manifestSeg struct {
 	Name    string `json:"name"`
 	Seqs    int    `json:"seqs"`
@@ -163,12 +168,14 @@ func WriteManifest(dir string, set *Set, nextSeg int) error {
 	return fault(FaultAfterManifestRename)
 }
 
-// readManifest loads and validates dir's manifest.
-func readManifest(dir string) (manifest, error) {
-	buf, err := os.ReadFile(filepath.Join(dir, ManifestFile))
-	if err != nil {
-		return manifest{}, fmt.Errorf("segment: open: %w", err)
-	}
+// decodeManifest parses and structurally validates a manifest image.
+// It owns every check that can be made without touching the segment
+// files: version, a non-empty segment list, path-safe segment names
+// (they are joined into file paths, so separators would escape the
+// database directory), non-negative counts, and deleted ids that are
+// unique and within the segment's declared record range. Cross-file
+// validation (declared vs actual record counts) stays in OpenDir.
+func decodeManifest(buf []byte) (manifest, error) {
 	var m manifest
 	if err := json.Unmarshal(buf, &m); err != nil {
 		return manifest{}, fmt.Errorf("segment: manifest: %w", err)
@@ -179,7 +186,43 @@ func readManifest(dir string) (manifest, error) {
 	if len(m.Segments) == 0 {
 		return manifest{}, fmt.Errorf("segment: manifest lists no segments")
 	}
+	if m.NextSeg < 0 {
+		return manifest{}, fmt.Errorf("segment: manifest next_seg %d is negative", m.NextSeg)
+	}
+	seen := make(map[string]bool, len(m.Segments))
+	for _, ms := range m.Segments {
+		switch {
+		case ms.Name == "" || ms.Name == "." || ms.Name == "..":
+			return manifest{}, fmt.Errorf("segment: manifest names unusable segment %q", ms.Name)
+		case strings.ContainsAny(ms.Name, "/\\"):
+			return manifest{}, fmt.Errorf("segment: manifest segment name %q contains a path separator", ms.Name)
+		case seen[ms.Name]:
+			return manifest{}, fmt.Errorf("segment: manifest lists segment %q twice", ms.Name)
+		case ms.Seqs < 0:
+			return manifest{}, fmt.Errorf("segment: manifest segment %q declares %d records", ms.Name, ms.Seqs)
+		}
+		seen[ms.Name] = true
+		del := make(map[int]bool, len(ms.Deleted))
+		for _, id := range ms.Deleted {
+			if id < 0 || id >= ms.Seqs {
+				return manifest{}, fmt.Errorf("segment: manifest segment %q deletes id %d outside [0,%d)", ms.Name, id, ms.Seqs)
+			}
+			if del[id] {
+				return manifest{}, fmt.Errorf("segment: manifest segment %q deletes id %d twice", ms.Name, id)
+			}
+			del[id] = true
+		}
+	}
 	return m, nil
+}
+
+// readManifest loads and validates dir's manifest.
+func readManifest(dir string) (manifest, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return manifest{}, fmt.Errorf("segment: open: %w", err)
+	}
+	return decodeManifest(buf)
 }
 
 // OpenDir opens a segmented database directory: loads the manifest,

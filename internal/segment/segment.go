@@ -26,6 +26,8 @@ import (
 // them, and compaction rewrites them as empty stubs — descriptions
 // survive, sequence bytes and postings are reclaimed, and ids stay
 // dense and stable.
+//
+//cafe:frozen
 type Segment struct {
 	Name  string // file stem inside a database directory; "" if unpersisted
 	Store *db.Store
@@ -124,6 +126,8 @@ func (g *Segment) DeletedList() []int {
 // global ids from 0. It implements core.Source over global ids, so one
 // Set pointer is everything a searcher needs; writers publish a new Set
 // and readers keep using the one they loaded.
+//
+//cafe:frozen
 type Set struct {
 	segs       []*Segment
 	bases      []int // bases[i] = segs[i].Base, for binary search

@@ -459,7 +459,7 @@ func (d *Database) Close() error {
 		}
 	}
 	for _, g := range set.Segments() {
-		if err := g.Index.Close(); err != nil && first == nil {
+		if err := g.Index.Close(); err != nil && first == nil { //cafe:allow snapshot teardown contract: Close runs after the caller has stopped issuing searches, so no reader holds this snapshot
 			first = err
 		}
 	}
