@@ -45,6 +45,7 @@ func main() {
 		candidates = flag.Int("candidates", defaults.Options.Candidates, "default coarse-phase candidate budget")
 		limit      = flag.Int("limit", defaults.Options.Limit, "default answers per query")
 		coarseW    = flag.Int("coarse-workers", defaults.Options.CoarseWorkers, "shard each search's coarse posting-list walk across this many workers (0 = serial; results are identical — visible as coarse_shards_total in /metrics)")
+		coarseBack = flag.String("coarse-backend", "auto", "default coarse backend: auto, postings, or signature (needs a database built with signatures; per-request coarse_backend= overrides)")
 		compact    = flag.Bool("compact", true, "run the background compactor: fold accumulated segments while serving (segmented databases; visible as segments_total in /metrics)")
 		maxSegs    = flag.Int("max-segments", 0, "compaction trigger: fold while more than this many segments (0 = library default)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown grace period")
@@ -85,6 +86,7 @@ func main() {
 	cfg.Options.Candidates = *candidates
 	cfg.Options.Limit = *limit
 	cfg.Options.CoarseWorkers = *coarseW
+	cfg.Options.CoarseBackend = *coarseBack
 	srv, err := server.New(db, cfg)
 	if err != nil {
 		log.Fatal(err)

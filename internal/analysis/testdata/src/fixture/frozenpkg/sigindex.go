@@ -1,0 +1,62 @@
+package frozenpkg
+
+// SigIndex mirrors the bit-sliced signature index: immutable once
+// published, its rows shared by every concurrent reader — exactly the
+// shape the frozen pass must police.
+//
+//cafe:frozen
+type SigIndex struct {
+	K       int
+	NumSeqs int
+	Rows    []uint64
+}
+
+// liveSig is the published signature index: reading it taints.
+var liveSig = &SigIndex{K: 9, NumSeqs: 64, Rows: make([]uint64, 8)}
+
+// currentSig hands the published index out through a helper.
+func currentSig() *SigIndex { return liveSig }
+
+// setBit mutates its argument; call sites passing a published index are
+// the violations, build-time values stay silent.
+func setBit(s *SigIndex, row, id int) {
+	s.Rows[row] |= 1 << uint(id%64)
+}
+
+// regeometry mutates its receiver.
+func (s *SigIndex) regeometry(k int) {
+	s.K = k
+}
+
+// buildSig constructs and fills a fresh index: every mutation here is
+// pre-publish and must stay silent, helpers included.
+func buildSig() *SigIndex {
+	s := &SigIndex{K: 9, Rows: make([]uint64, 4)}
+	s.NumSeqs = 32
+	setBit(s, 0, 7)
+	s.regeometry(11)
+	return s
+}
+
+func sigStoreThroughGlobal() {
+	liveSig.NumSeqs = 128 //violation:frozen
+}
+
+func sigRowStore() {
+	s := currentSig()
+	s.Rows[0] = ^uint64(0) //violation:frozen
+}
+
+func sigPassToMutator() {
+	setBit(liveSig, 1, 3) //violation:frozen
+}
+
+func sigMutateReceiver() {
+	currentSig().regeometry(7) //violation:frozen
+}
+
+// useSig keeps the fixture shapes alive for the type checker.
+var useSig = []func(){
+	sigStoreThroughGlobal, sigRowStore, sigPassToMutator, sigMutateReceiver,
+	func() { _ = buildSig() },
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"nucleodb/internal/index"
+	"nucleodb/internal/kmer"
+)
+
+// CoarseBackend selects which coarse-filtering index implementation a
+// search runs against. The postings-backed inverted index (the paper's
+// design) is exact; the bit-sliced signature backend (COBS-style)
+// answers approximate membership and verifies its candidates against
+// the real sequences, so both backends return identical final results
+// — the cross-backend differential suite locks this in.
+type CoarseBackend int
+
+const (
+	// CoarseBackendAuto lets the engine choose; it resolves to the
+	// postings backend, which is exact and always present. Signatures
+	// are opt-in per search.
+	CoarseBackendAuto CoarseBackend = iota
+	// CoarseBackendPostings accumulates the query's posting lists — the
+	// inverted k-mer index of the paper.
+	CoarseBackendPostings
+	// CoarseBackendSignature probes per-sequence Bloom signatures
+	// stored as bit-slices, then verifies the approximate candidate set
+	// exactly. Requires every segment to carry a signature index.
+	CoarseBackendSignature
+)
+
+// String names the backend; unknown values render as "invalid".
+func (b CoarseBackend) String() string {
+	switch b {
+	case CoarseBackendAuto:
+		return "auto"
+	case CoarseBackendPostings:
+		return "postings"
+	case CoarseBackendSignature:
+		return "signature"
+	}
+	return "invalid"
+}
+
+// CoarseIndex is the narrow surface every coarse backend exposes: its
+// self-identification (the wire/stats name of the backend) and the
+// number of sequences it covers. The postings index is the first
+// implementation; the signature index is the second.
+type CoarseIndex interface {
+	CoarseBackendName() string
+	NumSeqs() int
+}
+
+// SignatureIndex is the probe surface of a bit-sliced signature
+// backend: ProbeAnd writes the AND of a term's hash rows into dst (one
+// bit per sequence, Words() words) and returns it. Set bits are
+// approximate — supersets of the truth — so callers must verify
+// candidates before scoring.
+type SignatureIndex interface {
+	CoarseIndex
+	Words() int
+	ProbeAnd(t kmer.Term, dst []uint64) []uint64
+}
+
+// The postings index satisfies the backend interface.
+var _ CoarseIndex = (*index.Index)(nil)
+
+// Backend resolves CoarseBackendAuto to the backend the search will
+// run: the exact postings index. The signature backend runs only when
+// explicitly selected.
+func (o Options) Backend() CoarseBackend {
+	if o.CoarseBackend != CoarseBackendAuto {
+		return o.CoarseBackend
+	}
+	return CoarseBackendPostings
+}
+
+// HasSignatures reports whether every segment of this searcher carries
+// a signature index — the precondition of CoarseBackendSignature.
+func (s *Searcher) HasSignatures() bool {
+	for _, sg := range s.segs {
+		if sg.Sig == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// sigScratch is the reusable state of the signature coarse path: the
+// probe destination, the approximate candidate list, and the exact
+// verification pass's per-candidate term bookkeeping with a pre-bound
+// extraction callback (mirroring seedScratch) so steady-state signature
+// coarse allocates nothing per candidate.
+type sigScratch struct {
+	dst  []uint64 // serial probe AND buffer
+	drop []int    // approximate candidate local ids, verified in order
+
+	// seen marks the distinct query terms already counted for the
+	// candidate under verification; cleared per candidate.
+	seen map[kmer.Term]struct{}
+
+	// Verification state read by the pre-bound callback. termSet is
+	// borrowed from the searcher for the current query; stopped is the
+	// current segment's stop predicate; diag is the current query's
+	// diagonal accumulator (nil outside CoarseDiagonal). All three are
+	// cleared when the segment's verification pass ends.
+	termSet  map[kmer.Term][]int //cafe:pooled borrowed from the searcher for the current query only
+	stopped  func(kmer.Term) bool
+	diag     *diagAcc
+	local    int
+	distinct int
+	total    int
+	extract  func(sPos int, t kmer.Term)
+}
+
+func newSigScratch() *sigScratch {
+	sc := &sigScratch{seen: make(map[kmer.Term]struct{})}
+	sc.extract = func(sPos int, t kmer.Term) {
+		qPositions, ok := sc.termSet[t]
+		if !ok {
+			return
+		}
+		if sc.stopped != nil && sc.stopped(t) {
+			return
+		}
+		if _, dup := sc.seen[t]; !dup {
+			sc.seen[t] = struct{}{}
+			sc.distinct++
+		}
+		sc.total++
+		if sc.diag != nil {
+			for _, qp := range qPositions {
+				sc.diag.add(uint32(sc.local), sPos-qp)
+			}
+		}
+	}
+	return sc
+}
+
+// bumpProbeWord folds one word of a probe bitvector into acc: every set
+// bit is one approximate distinct hit for that local id.
+//
+//cafe:hotpath
+func bumpProbeWord(acc *accumulators, base int, word uint64, numSeqs int) {
+	for ; word != 0; word &= word - 1 {
+		id := base + bits.TrailingZeros64(word)
+		if id >= numSeqs {
+			// Padding bits past the real column count are never set by
+			// the builder; tolerate them defensively.
+			return
+		}
+		acc.bump(id, 1, 0)
+	}
+}
+
+// accumulateSignature is the signature backend's per-segment coarse
+// accumulation: probe the query's distinct terms against the segment's
+// bit-sliced signatures (serially, or sharded across workers) to get
+// approximate distinct counts, then verify every sequence that clears
+// minHits by re-extracting its real terms — computing the exact
+// distinct/total counts (and diagonal hits under CoarseDiagonal) the
+// postings walk would have produced. Signatures admit false positives
+// but never false negatives, so the approximate count is an upper bound
+// on the exact one and no qualifying sequence is missed; verified
+// counts feed the shared accumulator, so the scoring loop downstream is
+// byte-identical to the postings backend's.
+func (s *Searcher) accumulateSignature(ctx context.Context, seg Segment, mode CoarseMode, minHits, workers int, st *SearchStats) (*diagAcc, error) {
+	sg := seg.Sig
+	if sg == nil {
+		return nil, fmt.Errorf("core: signature coarse backend requested but the segment has no signature index (rebuild with signatures or use the postings backend)")
+	}
+	if s.sig == nil {
+		s.sig = newSigScratch()
+	}
+	sc := s.sig
+	numSeqs := seg.Index.NumSeqs()
+
+	// Phase 1: probe every distinct query term into approximate
+	// distinct counts.
+	if workers > 1 {
+		if err := s.probeSharded(ctx, sg, numSeqs, workers, st); err != nil {
+			return nil, err
+		}
+	} else {
+		s.acc.reset()
+		for t := range s.termSet {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			sc.dst = sg.ProbeAnd(t, sc.dst)
+			for w, word := range sc.dst {
+				bumpProbeWord(&s.acc, w*64, word, numSeqs)
+			}
+		}
+		if st != nil {
+			st.CoarseShards++
+		}
+	}
+	if st != nil {
+		st.SigProbes += len(s.termSet)
+	}
+
+	// Approximate candidate set: everything whose probe count clears
+	// minHits and is not tombstoned. Exact counts can only be lower, so
+	// this is a superset of the postings backend's qualifying set.
+	sc.drop = sc.drop[:0]
+	for _, local := range s.acc.touched {
+		if int(s.acc.distinct[local]) < minHits {
+			continue
+		}
+		if seg.Deleted != nil && seg.Deleted(local) {
+			continue
+		}
+		sc.drop = append(sc.drop, local)
+	}
+	if st != nil {
+		st.SigCandidates += len(sc.drop)
+	}
+
+	// Phase 2: exact verification. The accumulator restarts from the
+	// real counts; sequences whose exact distinct count is zero are
+	// pure hash-collision artefacts and vanish here.
+	s.acc.reset()
+	diag := newDiagAcc(mode == CoarseDiagonal)
+	sc.termSet = s.termSet
+	sc.stopped = nil
+	if seg.Index.NumStopped() > 0 {
+		sc.stopped = seg.Index.Stopped
+	}
+	sc.diag = diag
+	falsePositives := 0
+	for _, local := range sc.drop {
+		if err := ctx.Err(); err != nil {
+			sc.termSet, sc.stopped, sc.diag = nil, nil, nil
+			return nil, err
+		}
+		clear(sc.seen)
+		sc.local, sc.distinct, sc.total = local, 0, 0
+		s.coder.ExtractFunc(s.src.Sequence(seg.Base+local), sc.extract)
+		if sc.distinct < minHits {
+			falsePositives++
+		}
+		if sc.distinct > 0 {
+			s.acc.bump(local, sc.distinct, sc.total)
+		}
+	}
+	sc.termSet, sc.stopped, sc.diag = nil, nil, nil
+	if st != nil {
+		st.SigFalsePositives += falsePositives
+	}
+	return diag, nil
+}
+
+// probeSharded partitions the query's terms across workers, each
+// probing into a private per-shard accumulator, then merges the shards.
+// Distinct counts are order-independent sums over terms, so the merged
+// counts equal the serial probe's exactly — the same argument as the
+// sharded postings walk.
+func (s *Searcher) probeSharded(ctx context.Context, sg SignatureIndex, numSeqs, workers int, st *SearchStats) error {
+	jobs := s.termJobs[:0]
+	for t, qPositions := range s.termSet {
+		jobs = append(jobs, termJob{t: t, qPos: qPositions})
+	}
+	s.termJobs = jobs[:0]
+
+	shards := s.coarseShards(workers)
+	var wg sync.WaitGroup
+	next := int64(-1)
+	for w := 0; w < workers; w++ {
+		sh := shards[w]
+		sh.reset(false)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(jobs) {
+					return
+				}
+				sh.sigDst = sg.ProbeAnd(jobs[i].t, sh.sigDst) //cafe:allow poolescape ProbeAnd fills and returns the caller's buffer; the signature index retains nothing
+				for w, word := range sh.sigDst {
+					bumpProbeWord(&sh.acc, w*64, word, numSeqs)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.acc.reset()
+	for _, sh := range shards {
+		for _, id := range sh.acc.touched {
+			s.acc.bump(id, int(sh.acc.distinct[id]), int(sh.acc.total[id]))
+		}
+	}
+	if st != nil {
+		st.CoarseShards += workers
+	}
+	return nil
+}

@@ -153,7 +153,7 @@ func TestBoundedTopKMatchesFullSort(t *testing.T) {
 			t.Fatalf("%v: %v", mode, err)
 		}
 		for _, k := range []int{1, 3, 10, len(full), len(full) + 50} {
-			got, err := s.coarse(context.Background(), f.query, mode, 2, 1, k, nil)
+			got, err := s.coarse(context.Background(), f.query, CoarseBackendPostings, mode, 2, 1, k, nil)
 			if err != nil {
 				t.Fatalf("%v k=%d: %v", mode, k, err)
 			}

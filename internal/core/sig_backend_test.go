@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"nucleodb/internal/align"
+	"nucleodb/internal/db"
+	"nucleodb/internal/index"
+	"nucleodb/internal/kmer"
+	"nucleodb/internal/sig"
+)
+
+// subSource exposes one segment's slice of a store to sig.Build.
+type subSource struct {
+	store   *db.Store
+	base, n int
+}
+
+func (v subSource) Len() int              { return v.n }
+func (v subSource) Sequence(i int) []byte { return v.store.Sequence(v.base + i) }
+
+// attachSigs builds a signature index for every segment, excluding each
+// segment's stopped terms — the same term sets the posting lists hold.
+func attachSigs(t *testing.T, store *db.Store, segs []Segment) []Segment {
+	t.Helper()
+	out := make([]Segment, len(segs))
+	for i, sg := range segs {
+		var skip func(kmer.Term) bool
+		if sg.Index.NumStopped() > 0 {
+			skip = sg.Index.Stopped
+		}
+		sx, err := sig.Build(subSource{store, sg.Base, sg.Index.NumSeqs()}, sg.Index.Coder(), skip, sig.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = sg
+		out[i].Sig = sx
+	}
+	return out
+}
+
+// TestSignatureBackendEquivalence is the cross-backend contract: for
+// every coarse mode, strand setting, worker grid and MinCoarseHits, a
+// search through the bit-sliced signature backend must return final
+// results reflect.DeepEqual-identical to the postings backend — the
+// signatures admit false-positive candidates but verification restores
+// the exact coarse counts, so even the coarse scores and candidate
+// ordering agree. Runs over monolithic and multi-segment searchers,
+// with and without index stopping.
+func TestSignatureBackendEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(407))
+	for _, idxOpts := range []index.Options{
+		{K: 9, StoreOffsets: true},
+		{K: 8, StoreOffsets: true, StopFraction: 0.01},
+	} {
+		f := makeFixture(t, 406, idxOpts)
+		for _, numSegs := range []int{1, 3} {
+			var segs []Segment
+			if numSegs == 1 {
+				segs = []Segment{{Index: f.idx}}
+			} else {
+				segs = splitSegments(t, f, rng, numSegs)
+			}
+			segs = attachSigs(t, f.store, segs)
+			s, err := NewSegmentedSearcher(segs, f.store, align.DefaultScoring(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []CoarseMode{CoarseDistinct, CoarseTotal, CoarseNormalised, CoarseDiagonal} {
+				for _, minHits := range []int{1, 2} {
+					for _, workers := range []int{0, 3} {
+						opts := DefaultOptions()
+						opts.CoarseMode = mode
+						opts.MinCoarseHits = minHits
+						opts.CoarseWorkers = workers
+						opts.BothStrands = mode == CoarseTotal
+						name := fmt.Sprintf("stop=%v segs=%d mode=%v minHits=%d workers=%d",
+							idxOpts.StopFraction > 0, numSegs, mode, minHits, workers)
+
+						opts.CoarseBackend = CoarseBackendPostings
+						want, err := s.Search(f.query, opts)
+						if err != nil {
+							t.Fatalf("%s: postings: %v", name, err)
+						}
+						opts.CoarseBackend = CoarseBackendSignature
+						got, err := s.Search(f.query, opts)
+						if err != nil {
+							t.Fatalf("%s: signature: %v", name, err)
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("%s: signature results differ from postings\n got %+v\nwant %+v", name, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSignatureBackendStats checks the signature path's telemetry: the
+// resolved backend name, probe and candidate counters, and that
+// verification never reports more false positives than candidates.
+func TestSignatureBackendStats(t *testing.T) {
+	f := makeFixture(t, 410, index.Options{K: 9, StoreOffsets: true})
+	segs := attachSigs(t, f.store, []Segment{{Index: f.idx}})
+	s, err := NewSegmentedSearcher(segs, f.store, align.DefaultScoring(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.CoarseBackend = CoarseBackendSignature
+	var st SearchStats
+	if _, err := s.SearchWithStats(f.query, opts, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.CoarseBackend != "signature" {
+		t.Errorf("CoarseBackend = %q, want signature", st.CoarseBackend)
+	}
+	if st.SigProbes == 0 {
+		t.Error("SigProbes = 0 after a signature search")
+	}
+	if st.SigCandidates == 0 {
+		t.Error("SigCandidates = 0 for a homologous query")
+	}
+	if st.SigFalsePositives > st.SigCandidates {
+		t.Errorf("SigFalsePositives %d exceeds SigCandidates %d", st.SigFalsePositives, st.SigCandidates)
+	}
+	if st.PostingLists != 0 || st.PostingsDecoded != 0 {
+		t.Errorf("signature search read posting lists (%d lists, %d decoded)", st.PostingLists, st.PostingsDecoded)
+	}
+
+	opts.CoarseBackend = CoarseBackendAuto
+	if _, err := s.SearchWithStats(f.query, opts, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.CoarseBackend != "postings" {
+		t.Errorf("auto resolved to %q, want postings", st.CoarseBackend)
+	}
+}
+
+// TestSignatureBackendRequiresSignatures: an explicit signature search
+// against segments without signature indexes must error, and a
+// signature index whose sequence count disagrees with the segment's
+// index must be rejected at construction.
+func TestSignatureBackendRequiresSignatures(t *testing.T) {
+	f := makeFixture(t, 411, index.Options{K: 9, StoreOffsets: true})
+	s := newTestSearcher(t, f)
+	opts := DefaultOptions()
+	opts.CoarseBackend = CoarseBackendSignature
+	if _, err := s.Search(f.query, opts); err == nil {
+		t.Fatal("signature search over a sig-less searcher succeeded")
+	}
+
+	tiny := subSource{f.store, 0, 2}
+	sx, err := sig.Build(tiny, f.idx.Coder(), nil, sig.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewSegmentedSearcher([]Segment{{Index: f.idx, Sig: sx}}, f.store, align.DefaultScoring(), nil)
+	if err == nil {
+		t.Fatal("mismatched signature sequence count accepted")
+	}
+}
+
+// TestCoarseValidationExhaustive enumerates the accepted coarse modes
+// and backends through their String() coverage: every named value must
+// validate, every value one past the end must be rejected — the
+// exhaustive-switch regression for the old `> CoarseDiagonal` range
+// check, which silently widened whenever a new mode was appended.
+func TestCoarseValidationExhaustive(t *testing.T) {
+	modes := []CoarseMode{CoarseDistinct, CoarseTotal, CoarseNormalised, CoarseDiagonal}
+	for _, m := range modes {
+		opts := DefaultOptions()
+		opts.CoarseMode = m
+		if err := opts.validate(); err != nil {
+			t.Errorf("mode %v rejected: %v", m, err)
+		}
+	}
+	for _, m := range []CoarseMode{CoarseMode(-1), CoarseDiagonal + 1, CoarseMode(99)} {
+		opts := DefaultOptions()
+		opts.CoarseMode = m
+		if err := opts.validate(); err == nil {
+			t.Errorf("mode %d accepted", int(m))
+		}
+	}
+
+	backends := []CoarseBackend{CoarseBackendAuto, CoarseBackendPostings, CoarseBackendSignature}
+	names := map[string]bool{}
+	for _, b := range backends {
+		opts := DefaultOptions()
+		opts.CoarseBackend = b
+		if err := opts.validate(); err != nil {
+			t.Errorf("backend %v rejected: %v", b, err)
+		}
+		if s := b.String(); s == "invalid" || names[s] {
+			t.Errorf("backend %d has String %q", int(b), s)
+		} else {
+			names[b.String()] = true
+		}
+	}
+	for _, b := range []CoarseBackend{CoarseBackend(-1), CoarseBackendSignature + 1} {
+		opts := DefaultOptions()
+		opts.CoarseBackend = b
+		if err := opts.validate(); err == nil {
+			t.Errorf("backend %d accepted", int(b))
+		}
+		if b.String() != "invalid" {
+			t.Errorf("backend %d String = %q, want invalid", int(b), b.String())
+		}
+	}
+
+	// String coverage for the modes: distinct names, no fallthrough.
+	seen := map[string]bool{}
+	for _, m := range modes {
+		s := m.String()
+		if s == "" || seen[s] {
+			t.Errorf("mode %d has String %q", int(m), s)
+		}
+		seen[s] = true
+	}
+}

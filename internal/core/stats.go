@@ -42,6 +42,23 @@ type SearchStats struct {
 	// (PostingLists, PostingsDecoded, PostingsBytesRead) always sum to
 	// the serial values.
 	CoarseShards int
+	// CoarseBackend is the resolved coarse backend of this search
+	// ("postings" or "signature"); "mixed" after Add over searches that
+	// disagree.
+	CoarseBackend string
+	// SigProbes is the number of distinct query terms probed against
+	// the bit-sliced signatures, summed over strands and segments
+	// (signature backend only).
+	SigProbes int
+	// SigCandidates is the number of approximate candidates the
+	// signature probe admitted to exact verification (signature backend
+	// only).
+	SigCandidates int
+	// SigFalsePositives is the number of those candidates verification
+	// rejected — sequences the Bloom signatures admitted whose exact
+	// distinct-term count fell below MinCoarseHits. Always
+	// ≤ SigCandidates.
+	SigFalsePositives int
 	// Segments is the number of index segments the coarse phase
 	// evaluated, summed over strands: the segment count of the searcher's
 	// snapshot per strand (so a both-strands search over 3 segments
@@ -101,6 +118,15 @@ func (st *SearchStats) Add(o SearchStats) {
 	st.CoarseSequences += o.CoarseSequences
 	st.CoarseCandidates += o.CoarseCandidates
 	st.CoarseShards += o.CoarseShards
+	switch {
+	case st.CoarseBackend == "":
+		st.CoarseBackend = o.CoarseBackend
+	case o.CoarseBackend != "" && o.CoarseBackend != st.CoarseBackend:
+		st.CoarseBackend = "mixed"
+	}
+	st.SigProbes += o.SigProbes
+	st.SigCandidates += o.SigCandidates
+	st.SigFalsePositives += o.SigFalsePositives
 	st.Segments += o.Segments
 	st.PrescreenRejections += o.PrescreenRejections
 	st.FineAlignments += o.FineAlignments

@@ -152,8 +152,8 @@ func CoarseBench(cfg Config, workerCounts []int) (*CoarseBenchReport, error) {
 			report.CandidatesIdentical = false
 		}
 		speedup := 1.0
-		if bestCoarse > 0 {
-			speedup = float64(serialCoarse) / float64(bestCoarse)
+		if serialCoarse > 0 || bestCoarse > 0 {
+			speedup = ratioNS(serialCoarse, bestCoarse)
 		}
 		report.Runs = append(report.Runs, CoarseBenchRun{
 			Workers:       workers,

@@ -92,9 +92,7 @@ func E10(w io.Writer, cfg Config) ([]E10Row, error) {
 			SWScanTime:    swTotal / n,
 			Recall:        eval.Mean(recalls),
 		}
-		if row.PartitionTime > 0 {
-			row.Speedup = float64(row.SWScanTime) / float64(row.PartitionTime)
-		}
+		row.Speedup = ratioNS(row.SWScanTime, row.PartitionTime)
 		rows = append(rows, row)
 		tab.AddRow(qlen, row.PartitionTime, row.SWScanTime,
 			fmt.Sprintf("%.1f×", row.Speedup), row.Recall)

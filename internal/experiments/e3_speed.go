@@ -105,8 +105,8 @@ func E3(w io.Writer, cfg Config) ([]E3Row, error) {
 		if m.name == methods[0].name {
 			swTime = mean
 			row.SpeedupSW = 1
-		} else if mean > 0 {
-			row.SpeedupSW = float64(swTime) / float64(mean)
+		} else {
+			row.SpeedupSW = ratioNS(swTime, mean)
 		}
 		rows = append(rows, row)
 		tab.AddRow(m.name, mean, fmt.Sprintf("%.1f×", row.SpeedupSW), row.Recall)

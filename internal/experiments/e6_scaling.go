@@ -75,9 +75,7 @@ func E6(w io.Writer, cfg Config) ([]E6Row, error) {
 			PartitionTime:  partTotal / time.Duration(n),
 			IndexBuildTime: buildTime,
 		}
-		if row.PartitionTime > 0 {
-			row.Speedup = float64(row.SWScanTime) / float64(row.PartitionTime)
-		}
+		row.Speedup = ratioNS(row.SWScanTime, row.PartitionTime)
 		rows = append(rows, row)
 		tab.AddRow(fmt.Sprintf("%.1f", float64(row.Bases)/1e6),
 			row.SWScanTime, row.PartitionTime,

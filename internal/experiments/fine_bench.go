@@ -182,13 +182,11 @@ func FineBench(cfg Config, workerCounts []int) (*FineBenchReport, error) {
 				serialFine[kernel.String()] = bestFine
 			}
 			kernelSpeedup, parallelSpeedup := 1.0, 1.0
-			if bestFine > 0 {
-				if base, ok := scalarFine[workers]; ok {
-					kernelSpeedup = float64(base) / float64(bestFine)
-				}
-				if base, ok := serialFine[kernel.String()]; ok {
-					parallelSpeedup = float64(base) / float64(bestFine)
-				}
+			if base, ok := scalarFine[workers]; ok && (base > 0 || bestFine > 0) {
+				kernelSpeedup = ratioNS(base, bestFine)
+			}
+			if base, ok := serialFine[kernel.String()]; ok && (base > 0 || bestFine > 0) {
+				parallelSpeedup = ratioNS(base, bestFine)
 			}
 			cellsPerUS := 0.0
 			if bestFine > 0 {

@@ -1,0 +1,20 @@
+package experiments
+
+import "time"
+
+// ratioNS returns num/den as a dimensionless ratio, clamping a zero or
+// negative denominator to 1ns. The bench reports marshal ratios to
+// JSON, and encoding/json rejects ±Inf and NaN outright — so a 0ns
+// baseline (entirely possible on a coarse clock over a tiny quick-mode
+// workload) must never reach a bare float64 division: it would either
+// kill the whole report at Marshal time or, compared against a gate
+// (`NaN < gate` is false), silently pass a regression check.
+func ratioNS(num, den time.Duration) float64 {
+	if den <= 0 {
+		den = time.Nanosecond
+	}
+	if num < 0 {
+		num = 0
+	}
+	return float64(num) / float64(den)
+}

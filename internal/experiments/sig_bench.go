@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"time"
+
+	"nucleodb/internal/core"
+	"nucleodb/internal/eval"
+	"nucleodb/internal/index"
+	"nucleodb/internal/kmer"
+	"nucleodb/internal/sig"
+)
+
+// SigBenchRun is one coarse mode's postings-versus-signature
+// measurement over the standard workload.
+type SigBenchRun struct {
+	Mode string `json:"mode"`
+	// PostingsCoarseUS / SignatureCoarseUS are the workload's total
+	// coarse-phase wall time under each backend (best of the repeats).
+	PostingsCoarseUS  float64 `json:"postings_coarse_us"`
+	SignatureCoarseUS float64 `json:"signature_coarse_us"`
+	// SignatureSpeedup is postings coarse time over signature coarse
+	// time: above 1 the bit-sliced scan won, below 1 the posting lists
+	// won.
+	SignatureSpeedup float64 `json:"signature_speedup"`
+	// CoarseCandidates is the summed candidates admitted past the
+	// coarse phase (identical across backends by construction).
+	CoarseCandidates int `json:"coarse_candidates"`
+	// SigProbes, SigCandidates and SigFalsePositives are the signature
+	// backend's internal telemetry summed over the workload: rows
+	// probed, approximate candidates admitted to exact verification,
+	// and candidates verification rejected.
+	SigProbes         int `json:"sig_probes"`
+	SigCandidates     int `json:"sig_candidates"`
+	SigFalsePositives int `json:"sig_false_positives"`
+}
+
+// SigBenchReport is the postings-versus-signature coarse backend
+// shoot-out `cafe-bench -sig` emits (committed as BENCH_sig.json). The
+// equivalence field doubles as a smoke check: ResultsIdentical must be
+// true — the signature backend is contractually recall-equivalent (in
+// fact result-identical) to the postings backend — and CI fails the
+// run otherwise.
+type SigBenchReport struct {
+	Seed       int `json:"seed"`
+	Bases      int `json:"bases"`
+	Sequences  int `json:"sequences"`
+	Queries    int `json:"queries"`
+	QueryLen   int `json:"query_len"`
+	K          int `json:"k"`
+	Candidates int `json:"candidates"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	CPUs       int `json:"cpus"`
+	// PostingsBytes and SignatureBytes compare the two coarse data
+	// structures' sizes over the same collection; BitsPerKmer and
+	// Hashes are the signatures' Bloom geometry.
+	PostingsBytes  int `json:"postings_bytes"`
+	SignatureBytes int `json:"signature_bytes"`
+	BitsPerKmer    int `json:"bits_per_kmer"`
+	Hashes         int `json:"hashes"`
+	// FalsePositiveRate is the workload-wide fraction of signature
+	// candidates that exact verification rejected.
+	FalsePositiveRate float64       `json:"false_positive_rate"`
+	Runs              []SigBenchRun `json:"runs"`
+	// ResultsIdentical reports whether every signature-backend search
+	// returned exactly the postings-backend results (IDs, scores,
+	// spans, transcripts) in every mode.
+	ResultsIdentical bool `json:"results_identical"`
+}
+
+// SigBench measures the coarse phase under the postings backend versus
+// the bit-sliced signature backend for every coarse mode on the
+// standard workload, and verifies the signature backend reproduces the
+// postings results exactly. Each cell runs the whole workload
+// repeatedly and keeps the fastest pass, damping scheduler noise.
+func SigBench(cfg Config) (*SigBenchReport, error) {
+	env, err := NewEnv(cfg, cfg.BaseBases)
+	if err != nil {
+		return nil, err
+	}
+	idx, _, err := env.BuildIndex(index.Options{K: cfg.K, StoreOffsets: true})
+	if err != nil {
+		return nil, err
+	}
+	var skip func(kmer.Term) bool
+	if idx.NumStopped() > 0 {
+		skip = idx.Stopped
+	}
+	sx, err := sig.Build(env.Store, idx.Coder(), skip, sig.Options{})
+	if err != nil {
+		return nil, err
+	}
+	searcher, err := core.NewSegmentedSearcher(
+		[]core.Segment{{Index: idx, Sig: sx}}, env.Store, env.Scoring, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &SigBenchReport{
+		Seed:             int(cfg.Seed),
+		Bases:            env.TotalBases(),
+		Sequences:        env.Store.Len(),
+		Queries:          len(env.Queries),
+		QueryLen:         cfg.QueryLen,
+		K:                cfg.K,
+		Candidates:       cfg.Candidates,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		CPUs:             runtime.NumCPU(),
+		PostingsBytes:    idx.PostingsBytes(),
+		SignatureBytes:   sx.SizeBytes(),
+		BitsPerKmer:      sx.BitsPerKmer(),
+		Hashes:           sx.Hashes(),
+		ResultsIdentical: true,
+	}
+
+	const repeats = 3
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	var totalCands, totalFP int
+
+	modes := []core.CoarseMode{core.CoarseDistinct, core.CoarseTotal, core.CoarseNormalised, core.CoarseDiagonal}
+	for _, mode := range modes {
+		opts := core.DefaultOptions()
+		opts.Candidates = cfg.Candidates
+		opts.Limit = cfg.TopN
+		opts.CoarseMode = mode
+
+		measure := func(backend core.CoarseBackend) (time.Duration, core.SearchStats, [][]core.Result, error) {
+			wopts := opts
+			wopts.CoarseBackend = backend
+			var best time.Duration
+			var bestStats core.SearchStats
+			var results [][]core.Result
+			for rep := 0; rep < repeats; rep++ {
+				var coarse time.Duration
+				var agg core.SearchStats
+				pass := make([][]core.Result, len(env.Queries))
+				for qi := range env.Queries {
+					var st core.SearchStats
+					rs, err := searcher.SearchWithStats(env.Queries[qi].Codes, wopts, &st)
+					if err != nil {
+						return 0, agg, nil, err
+					}
+					coarse += st.CoarseTime
+					agg.Add(st)
+					pass[qi] = rs
+				}
+				if rep == 0 || coarse < best {
+					best = coarse
+					bestStats = agg
+				}
+				results = pass
+			}
+			return best, bestStats, results, nil
+		}
+
+		postCoarse, postStats, postResults, err := measure(core.CoarseBackendPostings)
+		if err != nil {
+			return nil, err
+		}
+		sigCoarse, sigStats, sigResults, err := measure(core.CoarseBackendSignature)
+		if err != nil {
+			return nil, err
+		}
+		if !reflect.DeepEqual(sigResults, postResults) {
+			report.ResultsIdentical = false
+		}
+		totalCands += sigStats.SigCandidates
+		totalFP += sigStats.SigFalsePositives
+		report.Runs = append(report.Runs, SigBenchRun{
+			Mode:              mode.String(),
+			PostingsCoarseUS:  us(postCoarse),
+			SignatureCoarseUS: us(sigCoarse),
+			SignatureSpeedup:  ratioNS(postCoarse, sigCoarse),
+			CoarseCandidates:  postStats.CoarseCandidates,
+			SigProbes:         sigStats.SigProbes,
+			SigCandidates:     sigStats.SigCandidates,
+			SigFalsePositives: sigStats.SigFalsePositives,
+		})
+	}
+	if totalCands > 0 {
+		report.FalsePositiveRate = float64(totalFP) / float64(totalCands)
+	}
+	return report, nil
+}
+
+// E17 renders the coarse-backend shoot-out as a table: per coarse
+// mode, the coarse wall time under the postings and signature
+// backends, the candidate flow through the signatures, and the
+// verification-rejected false positives.
+func E17(w io.Writer, cfg Config) ([]SigBenchRun, error) {
+	report, err := SigBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if w != nil {
+		fmt.Fprintf(w, "(%d seqs, %.1f Mbases; postings %.2f MB, signatures %.2f MB at %d bits/interval × %d hashes; fp rate %.4f)\n",
+			report.Sequences, float64(report.Bases)/1e6,
+			float64(report.PostingsBytes)/1e6, float64(report.SignatureBytes)/1e6,
+			report.BitsPerKmer, report.Hashes, report.FalsePositiveRate)
+		tab := eval.NewTable(
+			"E17 (extension): coarse backends — postings vs bit-sliced signatures",
+			"mode", "postings coarse", "signature coarse", "ratio", "sig candidates", "false positives")
+		for _, r := range report.Runs {
+			tab.AddRow(r.Mode,
+				time.Duration(r.PostingsCoarseUS*float64(time.Microsecond)).Round(time.Microsecond),
+				time.Duration(r.SignatureCoarseUS*float64(time.Microsecond)).Round(time.Microsecond),
+				fmt.Sprintf("%.2f×", r.SignatureSpeedup),
+				r.SigCandidates, r.SigFalsePositives)
+		}
+		if err := tab.Render(w); err != nil {
+			return nil, err
+		}
+		if !report.ResultsIdentical {
+			fmt.Fprintf(w, "WARNING: signature results differ from postings — equivalence contract broken\n")
+		}
+	}
+	return report.Runs, nil
+}

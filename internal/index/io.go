@@ -202,6 +202,19 @@ func loadHeader(r io.Reader) (*Index, uint64, *bufio.Reader, int64, error) {
 	if _, err := io.ReadFull(br, maskBytes); err != nil {
 		return fail(fmt.Errorf("index: load spaced mask: %w", err))
 	}
+	// Bound every header field as uint64 BEFORE converting to int.
+	// int(v) on a 32-bit platform keeps only the low 32 bits, so an
+	// adversarial k of 1<<32+9 would silently decode as 9 and sail
+	// through opts.validate; the checks must happen at full width.
+	if k > MaxK {
+		return fail(fmt.Errorf("index: load: interval length %d above %d", k, MaxK))
+	}
+	if stopFrac > 1e6 {
+		return fail(fmt.Errorf("index: load: stop fraction %d above 1e6", stopFrac))
+	}
+	if skipInterval > 1<<20 {
+		return fail(fmt.Errorf("index: load: implausible skip interval %d", skipInterval))
+	}
 	opts := Options{
 		K:            int(k),
 		StoreOffsets: offFlag == 1,
@@ -223,7 +236,10 @@ func loadHeader(r io.Reader) (*Index, uint64, *bufio.Reader, int64, error) {
 	if err != nil {
 		return fail(err)
 	}
-	if numSeqs > 1<<40 {
+	// 1<<31-1, not 1<<40: numSeqs feeds int(numSeqs) and sequence IDs
+	// are int32 throughout, so anything above that would truncate on
+	// 32-bit platforms and overflow IDs on 64-bit ones.
+	if numSeqs > 1<<31-1 {
 		return fail(fmt.Errorf("index: load: implausible sequence count %d", numSeqs))
 	}
 	// Counts below size allocations from untrusted input, so every slice

@@ -227,18 +227,20 @@ func writeBody(w http.ResponseWriter, code int, body []byte) {
 // URL parameters (GET) or a JSON body (POST). Pointer fields
 // distinguish "unset" from an explicit zero.
 type searchRequest struct {
-	Query      string `json:"query"`
-	Limit      *int   `json:"limit"`
-	Candidates *int   `json:"candidates"`
-	MinScore   *int   `json:"minscore"`
-	Prescreen  *int   `json:"prescreen"`
-	Band       *int   `json:"band"`
-	Strands    *bool  `json:"strands"`
-	Exact      *bool  `json:"exact"`
-	FineKernel string `json:"fine_kernel"`
-	Timeout    string `json:"timeout"`
-	Stats      bool   `json:"stats"`
-	NoCache    bool   `json:"nocache"`
+	Query         string `json:"query"`
+	Limit         *int   `json:"limit"`
+	Candidates    *int   `json:"candidates"`
+	MinScore      *int   `json:"minscore"`
+	Prescreen     *int   `json:"prescreen"`
+	Band          *int   `json:"band"`
+	Strands       *bool  `json:"strands"`
+	Exact         *bool  `json:"exact"`
+	FineKernel    string `json:"fine_kernel"`
+	CoarseMode    string `json:"coarse_mode"`
+	CoarseBackend string `json:"coarse_backend"`
+	Timeout       string `json:"timeout"`
+	Stats         bool   `json:"stats"`
+	NoCache       bool   `json:"nocache"`
 }
 
 func intParam(q url.Values, name string) (*int, error) {
@@ -275,7 +277,7 @@ func parseSearchRequest(r *http.Request) (searchRequest, error) {
 		if err := dec.Decode(&req); err != nil {
 			return req, fmt.Errorf("decoding JSON body: %w", err)
 		}
-		return req, validFineKernel(req.FineKernel)
+		return req, req.validateNames()
 	}
 	q := r.URL.Query()
 	req.Query = q.Get("q")
@@ -316,11 +318,27 @@ func parseSearchRequest(r *http.Request) (searchRequest, error) {
 	}
 	req.NoCache = b != nil && *b
 	req.FineKernel = q.Get("fine_kernel")
-	if err := validFineKernel(req.FineKernel); err != nil {
+	req.CoarseMode = q.Get("coarse_mode")
+	req.CoarseBackend = q.Get("coarse_backend")
+	if err := req.validateNames(); err != nil {
 		return req, err
 	}
 	req.Timeout = q.Get("timeout")
 	return req, nil
+}
+
+// validateNames rejects unknown enumerated parameter values at the
+// request boundary — a typo'd backend or mode must 400 here, with a
+// friendlier message than the engine's validation, never fall through
+// to a default.
+func (req searchRequest) validateNames() error {
+	if err := validFineKernel(req.FineKernel); err != nil {
+		return err
+	}
+	if err := validCoarseMode(req.CoarseMode); err != nil {
+		return err
+	}
+	return validCoarseBackend(req.CoarseBackend)
 }
 
 // validFineKernel rejects unknown fine_kernel values at the request
@@ -331,6 +349,24 @@ func validFineKernel(v string) error {
 		return nil
 	}
 	return fmt.Errorf("parameter fine_kernel=%q must be auto, scalar or bitvector", v)
+}
+
+// validCoarseMode rejects unknown coarse_mode values.
+func validCoarseMode(v string) error {
+	switch v {
+	case "", "distinct", "total", "normalised", "diagonal":
+		return nil
+	}
+	return fmt.Errorf("parameter coarse_mode=%q must be distinct, total, normalised or diagonal", v)
+}
+
+// validCoarseBackend rejects unknown coarse_backend values.
+func validCoarseBackend(v string) error {
+	switch v {
+	case "", "auto", "postings", "signature":
+		return nil
+	}
+	return fmt.Errorf("parameter coarse_backend=%q must be auto, postings or signature", v)
 }
 
 // options resolves the request's search options over the server
@@ -361,6 +397,12 @@ func (s *Server) options(req searchRequest) nucleodb.SearchOptions {
 	if req.FineKernel != "" {
 		opts.FineKernel = req.FineKernel
 	}
+	if req.CoarseMode != "" {
+		opts.CoarseMode = req.CoarseMode
+	}
+	if req.CoarseBackend != "" {
+		opts.CoarseBackend = req.CoarseBackend
+	}
 	return opts
 }
 
@@ -385,14 +427,15 @@ func (s *Server) timeout(req searchRequest) (time.Duration, error) {
 
 // cacheKey builds the result-cache key: the canonical query letters
 // (encode/decode normalises case and U→T) plus every option that
-// affects the answer. Execution knobs that are proven result-neutral
-// (CoarseWorkers, FineWorkers, FineKernel — the equivalence property
-// tests lock in byte-identical output) are deliberately excluded, so
-// serial, sharded and bitvector-kernel configurations share cache
-// entries.
+// affects the answer — CoarseMode changes the ranking, so it is part
+// of the key. Execution knobs that are proven result-neutral
+// (CoarseWorkers, FineWorkers, FineKernel, CoarseBackend — the
+// equivalence property tests lock in byte-identical output) are
+// deliberately excluded, so serial, sharded, bitvector-kernel and
+// signature-backend configurations share cache entries.
 func cacheKey(canonical string, opts nucleodb.SearchOptions) string {
-	return fmt.Sprintf("%s|%d|%d|%t|%t|%d|%d|%d|%t|%d",
-		canonical, opts.Candidates, opts.MinCoarseHits, opts.Diagonal, opts.Exact,
+	return fmt.Sprintf("%s|%d|%d|%t|%s|%t|%d|%d|%d|%t|%d",
+		canonical, opts.Candidates, opts.MinCoarseHits, opts.Diagonal, opts.CoarseMode, opts.Exact,
 		opts.Band, opts.MinScore, opts.Limit, opts.BothStrands, opts.Prescreen)
 }
 

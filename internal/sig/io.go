@@ -1,0 +1,135 @@
+package sig
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"nucleodb/internal/kmer"
+)
+
+// sigMagic identifies the on-disk signature format, version 1.
+const sigMagic = "NDBsig1\n"
+
+// Save writes the signature index to w. The format is:
+//
+//	magic
+//	uvarint K, bitsPerKmer, hashes, numSeqs, bits
+//	bits × words little-endian uint64 row words
+func (x *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(sigMagic); err != nil {
+		return fmt.Errorf("sig: save: %w", err)
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	for _, v := range []uint64{uint64(x.k), uint64(x.bitsPerKmer), uint64(x.hashes), uint64(x.numSeqs), uint64(x.bits)} {
+		n := binary.PutUvarint(tmp[:], v)
+		if _, err := bw.Write(tmp[:n]); err != nil {
+			return fmt.Errorf("sig: save header: %w", err)
+		}
+	}
+	var word [8]byte
+	for _, v := range x.rows {
+		binary.LittleEndian.PutUint64(word[:], v)
+		if _, err := bw.Write(word[:]); err != nil {
+			return fmt.Errorf("sig: save rows: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// SerializedBytes returns the exact on-disk size of the index.
+func (x *Index) SerializedBytes() int {
+	n := len(sigMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, v := range []uint64{uint64(x.k), uint64(x.bitsPerKmer), uint64(x.hashes), uint64(x.numSeqs), uint64(x.bits)} {
+		n += binary.PutUvarint(tmp[:], v)
+	}
+	return n + len(x.rows)*8
+}
+
+// Load reads a signature index previously written by Save. Every
+// header field is bounded as a uint64 before conversion to int, so an
+// adversarial header errors on every platform instead of silently
+// truncating on 32-bit ones — the same discipline as the posting
+// index's loader.
+func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(sigMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("sig: load: %w", err)
+	}
+	if string(magic) != sigMagic {
+		return nil, fmt.Errorf("sig: load: bad magic %q", magic)
+	}
+	get := func(what string) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("sig: load %s: %w", what, err)
+		}
+		return v, nil
+	}
+	k, err := get("K")
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 || k > kmer.MaxK {
+		return nil, fmt.Errorf("sig: load: interval length %d outside [1,%d]", k, kmer.MaxK)
+	}
+	bitsPerKmer, err := get("bits per k-mer")
+	if err != nil {
+		return nil, err
+	}
+	if bitsPerKmer < 1 || bitsPerKmer > MaxBitsPerKmer {
+		return nil, fmt.Errorf("sig: load: bits per k-mer %d outside [1,%d]", bitsPerKmer, MaxBitsPerKmer)
+	}
+	hashes, err := get("hash count")
+	if err != nil {
+		return nil, err
+	}
+	if hashes < 1 || hashes > MaxHashes {
+		return nil, fmt.Errorf("sig: load: hash count %d outside [1,%d]", hashes, MaxHashes)
+	}
+	numSeqs, err := get("sequence count")
+	if err != nil {
+		return nil, err
+	}
+	if numSeqs < 1 || numSeqs > 1<<31-1 {
+		return nil, fmt.Errorf("sig: load: implausible sequence count %d", numSeqs)
+	}
+	m, err := get("bit count")
+	if err != nil {
+		return nil, err
+	}
+	// m is produced in 64-aligned units; cap it so bits×words cannot
+	// overflow (or OOM) before the row read below bounds it for real.
+	if m < 64 || m%64 != 0 || m > 1<<32 {
+		return nil, fmt.Errorf("sig: load: implausible bit count %d", m)
+	}
+	x := &Index{
+		k:           int(k),
+		bitsPerKmer: int(bitsPerKmer),
+		hashes:      int(hashes),
+		numSeqs:     int(numSeqs),
+		bits:        int(m),
+		words:       (int(numSeqs) + 63) / 64,
+	}
+	total := uint64(x.bits) * uint64(x.words)
+	// Grow incrementally: each claimed word must be backed by 8 bytes of
+	// input, so a lying header fails with a read error after a bounded
+	// allocation instead of a single total-sized make.
+	const chunk = 1 << 17 // words per read: 1 MiB
+	x.rows = make([]uint64, 0, min(total, chunk))
+	buf := make([]byte, 8*chunk)
+	for uint64(len(x.rows)) < total {
+		take := min(total-uint64(len(x.rows)), chunk)
+		if _, err := io.ReadFull(br, buf[:8*take]); err != nil {
+			return nil, fmt.Errorf("sig: load rows: %w", err)
+		}
+		for i := uint64(0); i < take; i++ {
+			x.rows = append(x.rows, binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+	}
+	return x, nil
+}

@@ -1,0 +1,264 @@
+// Package sig implements the second coarse-filtering backend: a
+// bit-sliced k-mer signature index in the COBS style (Bingmann et al.,
+// "COBS: a Compact Bit-Sliced Signature Index"). Every sequence gets a
+// Bloom-filter signature of m bits; the m×numSeqs bit matrix is stored
+// column-major as m bit-slices ("rows") of ⌈numSeqs/64⌉ words each, so
+// one query term probes its h hash rows and the AND of those rows is
+// the candidate bitvector for the whole collection — a word-wide scan
+// instead of a postings decode.
+//
+// Signatures answer approximate membership: a set bit can be a false
+// positive (hash collisions across the h rows), but a term that was
+// inserted always reads back present — signatures admit spurious
+// candidates, never missed ones. Exact coarse scoring therefore stays
+// with the caller, which verifies candidates against the real sequence
+// terms (see internal/core's signature coarse path).
+package sig
+
+import (
+	"fmt"
+	"math/bits"
+
+	"nucleodb/internal/kmer"
+)
+
+// BackendName is the CoarseIndex backend identifier of this package.
+const BackendName = "signature"
+
+// Source supplies sequences by id, the same shape index.Build consumes.
+type Source interface {
+	Len() int
+	Sequence(id int) []byte
+}
+
+// Options configure signature construction.
+type Options struct {
+	// BitsPerKmer sizes each signature: the bit-slice count m is
+	// BitsPerKmer × the largest per-sequence distinct-term count,
+	// rounded up to a multiple of 64. More bits per k-mer lower the
+	// false-positive rate and grow the index linearly. 0 means
+	// DefaultBitsPerKmer.
+	BitsPerKmer int
+	// Hashes is the number of rows each term sets and probes. 0 means
+	// DefaultHashes.
+	Hashes int
+}
+
+// Defaults approximate the Bloom optimum k ≈ b·ln2 for b = 16 bits per
+// element, giving a per-term false-positive rate around 6·10⁻⁴ — low
+// enough that verification work stays a small fraction of the
+// collection even for queries with hundreds of terms.
+const (
+	DefaultBitsPerKmer = 16
+	DefaultHashes      = 8
+
+	// MaxBitsPerKmer and MaxHashes bound the options (and the decoded
+	// header fields) to sane maxima.
+	MaxBitsPerKmer = 256
+	MaxHashes      = 32
+)
+
+func (o Options) withDefaults() Options {
+	if o.BitsPerKmer == 0 {
+		o.BitsPerKmer = DefaultBitsPerKmer
+	}
+	if o.Hashes == 0 {
+		o.Hashes = DefaultHashes
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.BitsPerKmer < 1 || o.BitsPerKmer > MaxBitsPerKmer {
+		return fmt.Errorf("sig: BitsPerKmer %d outside [1,%d]", o.BitsPerKmer, MaxBitsPerKmer)
+	}
+	if o.Hashes < 1 || o.Hashes > MaxHashes {
+		return fmt.Errorf("sig: Hashes %d outside [1,%d]", o.Hashes, MaxHashes)
+	}
+	return nil
+}
+
+// Index is an immutable bit-sliced signature index over one segment's
+// sequences. Row r occupies rows[r·words : (r+1)·words]; sequence id's
+// bit is word id/64, bit id%64 of each of its h hash rows.
+//
+//cafe:frozen
+type Index struct {
+	k           int
+	bitsPerKmer int
+	hashes      int
+	numSeqs     int
+	bits        int // m: number of bit-slice rows
+	words       int // ⌈numSeqs/64⌉
+	rows        []uint64
+}
+
+// Build constructs a signature index over src using coder's term
+// vocabulary. skip, when non-nil, excludes terms from the signatures —
+// the caller passes the posting index's stop predicate so both backends
+// index the same term sets per sequence.
+func Build(src Source, coder *kmer.Coder, skip func(kmer.Term) bool, opts Options) (*Index, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	numSeqs := src.Len()
+	if numSeqs == 0 {
+		return nil, fmt.Errorf("sig: cannot build over an empty store")
+	}
+
+	// Pass 1: the largest per-sequence distinct-term count sizes the
+	// slice count m so the densest signature still holds its target
+	// bits-per-element budget.
+	seen := make(map[kmer.Term]struct{})
+	maxDistinct := 0
+	for id := 0; id < numSeqs; id++ {
+		clear(seen)
+		coder.ExtractFunc(src.Sequence(id), func(_ int, t kmer.Term) {
+			if skip != nil && skip(t) {
+				return
+			}
+			seen[t] = struct{}{}
+		})
+		if len(seen) > maxDistinct {
+			maxDistinct = len(seen)
+		}
+	}
+	m := opts.BitsPerKmer * maxDistinct
+	if m < 64 {
+		m = 64
+	}
+	m = (m + 63) &^ 63
+
+	x := &Index{
+		k:           coder.K(),
+		bitsPerKmer: opts.BitsPerKmer,
+		hashes:      opts.Hashes,
+		numSeqs:     numSeqs,
+		bits:        m,
+		words:       (numSeqs + 63) / 64,
+	}
+	x.rows = make([]uint64, m*x.words)
+
+	// Pass 2: set each sequence's bit in the h rows of every distinct
+	// term it contains.
+	for id := 0; id < numSeqs; id++ {
+		clear(seen)
+		word, bit := id/64, uint(id%64)
+		coder.ExtractFunc(src.Sequence(id), func(_ int, t kmer.Term) {
+			if skip != nil && skip(t) {
+				return
+			}
+			if _, dup := seen[t]; dup {
+				return
+			}
+			seen[t] = struct{}{}
+			h1, h2 := hashPair(t)
+			for j := 0; j < x.hashes; j++ {
+				r := int((h1 + uint64(j)*h2) % uint64(m))
+				x.rows[r*x.words+word] |= 1 << bit
+			}
+		})
+	}
+	return x, nil
+}
+
+// hashPair derives the double-hashing pair for a term: two independent
+// splitmix64-style mixes, the stride forced odd so successive rows
+// spread even when m shares factors with h2.
+//
+//cafe:hotpath
+func hashPair(t kmer.Term) (h1, h2 uint64) {
+	h1 = mix64(uint64(t) + 0x9e3779b97f4a7c15)
+	h2 = mix64(uint64(t)^0xbf58476d1ce4e5b9) | 1
+	return h1, h2
+}
+
+//cafe:hotpath
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// CoarseBackendName identifies this index as the signature backend.
+func (x *Index) CoarseBackendName() string { return BackendName }
+
+// K returns the interval length the signatures were built over.
+func (x *Index) K() int { return x.k }
+
+// NumSeqs returns the number of signed sequences.
+func (x *Index) NumSeqs() int { return x.numSeqs }
+
+// Bits returns the number of bit-slice rows (the signature width m).
+func (x *Index) Bits() int { return x.bits }
+
+// Hashes returns the number of rows each term sets and probes.
+func (x *Index) Hashes() int { return x.hashes }
+
+// BitsPerKmer returns the configured per-element bit budget.
+func (x *Index) BitsPerKmer() int { return x.bitsPerKmer }
+
+// Words returns the per-row word count ⌈numSeqs/64⌉ — the length
+// ProbeAnd's destination takes.
+func (x *Index) Words() int { return x.words }
+
+// SizeBytes returns the in-memory size of the bit matrix.
+func (x *Index) SizeBytes() int { return len(x.rows) * 8 }
+
+// row returns bit-slice r.
+//
+//cafe:hotpath
+func (x *Index) row(r int) []uint64 { return x.rows[r*x.words : (r+1)*x.words] }
+
+// ProbeAnd writes the AND of term t's h hash rows into dst — one bit
+// per sequence, set when every row has the sequence's bit — growing dst
+// to Words() as needed, and returns it. A set bit means t is *probably*
+// in that sequence; a clear bit means it is certainly absent.
+//
+//cafe:hotpath
+func (x *Index) ProbeAnd(t kmer.Term, dst []uint64) []uint64 {
+	if cap(dst) < x.words {
+		dst = make([]uint64, x.words) //cafe:allow amortised scratch; grows once to Words() and is reused across probes
+	} else {
+		dst = dst[:x.words]
+	}
+	h1, h2 := hashPair(t)
+	copy(dst, x.row(int(h1%uint64(x.bits))))
+	for j := 1; j < x.hashes; j++ {
+		row := x.row(int((h1 + uint64(j)*h2) % uint64(x.bits)))
+		for w := range dst {
+			dst[w] &= row[w]
+		}
+	}
+	return dst
+}
+
+// MayContain reports t's approximate membership for one sequence.
+func (x *Index) MayContain(t kmer.Term, id int) bool {
+	h1, h2 := hashPair(t)
+	word, bit := id/64, uint(id%64)
+	for j := 0; j < x.hashes; j++ {
+		r := int((h1 + uint64(j)*h2) % uint64(x.bits))
+		if x.row(r)[word]&(1<<bit) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Density returns the fraction of set bits in the matrix, a diagnostic
+// for the false-positive rate (≈ density^hashes per probed term).
+func (x *Index) Density() float64 {
+	ones := 0
+	for _, w := range x.rows {
+		ones += bits.OnesCount64(w)
+	}
+	// The last word of each row may pad past numSeqs; padding bits are
+	// never set, so counting capacity by real columns keeps the figure
+	// honest.
+	return float64(ones) / float64(x.bits*x.numSeqs)
+}

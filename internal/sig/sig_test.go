@@ -1,0 +1,236 @@
+package sig
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"nucleodb/internal/kmer"
+)
+
+// codesStore is a minimal in-memory Source of 2-bit base codes.
+type codesStore [][]byte
+
+func (s codesStore) Len() int               { return len(s) }
+func (s codesStore) Sequence(id int) []byte { return s[id] }
+
+func randomStore(seed int64, n, meanLen int) codesStore {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(codesStore, n)
+	for i := range s {
+		l := meanLen/2 + rng.Intn(meanLen)
+		seq := make([]byte, l)
+		for j := range seq {
+			seq[j] = byte(rng.Intn(4))
+		}
+		s[i] = seq
+	}
+	return s
+}
+
+// TestNoFalseNegatives is the signature contract: every term actually
+// present in a sequence must read back present, via both MayContain and
+// the bit-sliced ProbeAnd — false positives are allowed, misses never.
+func TestNoFalseNegatives(t *testing.T) {
+	store := randomStore(7, 40, 300)
+	coder := kmer.MustCoder(8)
+	x, err := Build(store, coder, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst []uint64
+	for id := 0; id < store.Len(); id++ {
+		coder.ExtractFunc(store.Sequence(id), func(_ int, term kmer.Term) {
+			if !x.MayContain(term, id) {
+				t.Fatalf("seq %d term %d: inserted term reads absent", id, term)
+			}
+			dst = x.ProbeAnd(term, dst)
+			if dst[id/64]&(1<<uint(id%64)) == 0 {
+				t.Fatalf("seq %d term %d: ProbeAnd bit clear for an inserted term", id, term)
+			}
+		})
+	}
+}
+
+// TestSkipExcludesTerms: a skipped term must behave as never inserted
+// when no other term hashes over it — with a single sequence and a
+// tight vocabulary collisions are easy to dodge by checking density.
+func TestSkipExcludesTerms(t *testing.T) {
+	store := randomStore(11, 10, 200)
+	coder := kmer.MustCoder(8)
+	all, err := Build(store, coder, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := Build(store, coder, func(kmer.Term) bool { return true }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := none.Density(); d != 0 {
+		t.Fatalf("skip-everything build has density %v, want 0", d)
+	}
+	if all.Density() == 0 {
+		t.Fatal("skip-nothing build is empty")
+	}
+}
+
+// TestFalsePositiveRate sanity-checks the defaults: probing terms drawn
+// from sequences the collection does not contain must admit only a
+// small fraction of false positives.
+func TestFalsePositiveRate(t *testing.T) {
+	store := randomStore(13, 60, 400)
+	coder := kmer.MustCoder(10) // large vocabulary: random foreign terms are truly absent
+	x, err := Build(store, coder, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	present := make(map[kmer.Term]bool)
+	for id := 0; id < store.Len(); id++ {
+		coder.ExtractFunc(store.Sequence(id), func(_ int, term kmer.Term) { present[term] = true })
+	}
+	rng := rand.New(rand.NewSource(99))
+	probes, hits := 0, 0
+	var dst []uint64
+	for probes < 2000 {
+		term := kmer.Term(rng.Int63n(int64(coder.NumTerms())))
+		if present[term] {
+			continue
+		}
+		probes++
+		dst = x.ProbeAnd(term, dst)
+		for _, w := range dst {
+			hits += popcount(w)
+		}
+	}
+	rate := float64(hits) / float64(probes*store.Len())
+	if rate > 0.05 {
+		t.Fatalf("false-positive rate %.4f exceeds 5%% at default options (density %.3f)", rate, x.Density())
+	}
+}
+
+func popcount(w uint64) int {
+	n := 0
+	for ; w != 0; w &= w - 1 {
+		n++
+	}
+	return n
+}
+
+// TestSaveLoadRoundtrip: the decoded index must equal the built one
+// field for field.
+func TestSaveLoadRoundtrip(t *testing.T) {
+	store := randomStore(17, 25, 250)
+	coder := kmer.MustCoder(8)
+	x, err := Build(store, coder, nil, Options{BitsPerKmer: 12, Hashes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.Len(), x.SerializedBytes(); got != want {
+		t.Fatalf("SerializedBytes %d, actual save wrote %d", want, got)
+	}
+	y, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(x, y) {
+		t.Fatalf("roundtrip mismatch:\nbuilt  %+v\nloaded %+v", x, y)
+	}
+}
+
+// TestLoadCorruptImages mirrors the posting index's corruption
+// discipline: truncations must error, bit flips must never panic.
+func TestLoadCorruptImages(t *testing.T) {
+	store := randomStore(23, 15, 200)
+	x, err := Build(store, kmer.MustCoder(6), nil, Options{BitsPerKmer: 8, Hashes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+
+	t.Run("truncate", func(t *testing.T) {
+		for cut := 0; cut < len(img); cut++ {
+			if _, err := Load(bytes.NewReader(img[:cut])); err == nil {
+				t.Fatalf("truncation to %d of %d bytes loaded cleanly", cut, len(img))
+			}
+		}
+	})
+
+	t.Run("bitflip", func(t *testing.T) {
+		step := 1
+		if testing.Short() {
+			step = 13
+		}
+		mut := make([]byte, len(img))
+		for pos := 0; pos < len(img); pos += step {
+			for bit := uint(0); bit < 8; bit++ {
+				copy(mut, img)
+				mut[pos] ^= 1 << bit
+				// Row payload flips decode to a different, equally
+				// plausible matrix; header flips must error. Either way:
+				// no panic.
+				Load(bytes.NewReader(mut))
+			}
+		}
+	})
+
+	t.Run("trailing-garbage", func(t *testing.T) {
+		grown := append(append([]byte{}, img...), bytes.Repeat([]byte{0xAB}, 64)...)
+		if _, err := Load(bytes.NewReader(grown)); err != nil {
+			t.Fatalf("trailing garbage broke the load: %v", err)
+		}
+	})
+}
+
+// header builds a crafted image from raw header values, with no rows.
+func header(fields ...uint64) []byte {
+	buf := []byte(sigMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, v := range fields {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	return buf
+}
+
+// TestLoadBoundsAdversarialHeaders is the 32-bit truncation regression:
+// each header field that feeds an int conversion must be rejected as a
+// uint64 first, so values that truncate to plausible ints on 32-bit
+// platforms (e.g. 1<<32+9 → 9) error everywhere.
+func TestLoadBoundsAdversarialHeaders(t *testing.T) {
+	cases := map[string][]uint64{
+		"k-truncates":        {1<<32 + 9, 16, 8, 10, 1024},
+		"k-zero":             {0, 16, 8, 10, 1024},
+		"bits-truncates":     {9, 1<<32 + 16, 8, 10, 1024},
+		"hashes-truncates":   {9, 16, 1<<32 + 8, 10, 1024},
+		"numseqs-truncates":  {9, 16, 8, 1<<32 + 10, 1024},
+		"numseqs-zero":       {9, 16, 8, 0, 1024},
+		"bitcount-unaligned": {9, 16, 8, 10, 1000},
+		"bitcount-huge":      {9, 16, 8, 10, 1 << 40},
+	}
+	for name, fields := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Load(bytes.NewReader(header(fields...))); err == nil {
+				t.Fatalf("adversarial header %v loaded cleanly", fields)
+			}
+		})
+	}
+}
+
+// TestLoadLyingBitCount: a header whose claimed matrix the stream
+// cannot back must fail with a read error after bounded allocation.
+func TestLoadLyingBitCount(t *testing.T) {
+	img := header(9, 16, 8, 1<<20, 1<<30) // claims a 16-terabit matrix, then EOF
+	if _, err := Load(bytes.NewReader(img)); err == nil {
+		t.Fatal("lying bit count loaded cleanly")
+	}
+}

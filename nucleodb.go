@@ -38,6 +38,7 @@ import (
 	"nucleodb/internal/index"
 	"nucleodb/internal/metrics"
 	"nucleodb/internal/segment"
+	"nucleodb/internal/sig"
 	"nucleodb/internal/stats"
 )
 
@@ -75,6 +76,13 @@ type BuildConfig struct {
 	// Workers bounds build parallelism (0 = all CPUs). The built
 	// database is identical at any setting.
 	Workers int
+	// Signatures additionally builds a bit-sliced interval signature
+	// per segment (one Bloom signature per sequence, stored
+	// column-major), enabling the "signature" coarse backend at search
+	// time. Final results are identical to the postings backend's;
+	// only the coarse phase's data structure differs. Appends and
+	// compactions maintain signatures on every new segment.
+	Signatures bool
 	// Scoring sets the alignment parameters used by searches.
 	Scoring Scoring
 }
@@ -246,7 +254,21 @@ func buildFromStore(store *db.Store, cfg BuildConfig) (*Database, error) {
 	if err != nil {
 		return nil, fmt.Errorf("nucleodb: %w", err)
 	}
-	return newDatabase(store, idx, cfg.Scoring)
+	g, err := segment.New("", store, idx, 0)
+	if err != nil {
+		return nil, fmt.Errorf("nucleodb: %w", err)
+	}
+	if cfg.Signatures {
+		g, err = g.BuildSig(sig.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("nucleodb: %w", err)
+		}
+	}
+	set, err := segment.NewSet([]*segment.Segment{g})
+	if err != nil {
+		return nil, fmt.Errorf("nucleodb: %w", err)
+	}
+	return newDatabaseSet(set, cfg.Scoring, "", 0)
 }
 
 func newDatabase(store *db.Store, idx *index.Index, scoring Scoring) (*Database, error) {
@@ -477,6 +499,17 @@ type SearchOptions struct {
 	// Diagonal selects the FRAMES-style diagonal coarse ranking
 	// (requires a database built with StoreOffsets).
 	Diagonal bool
+	// CoarseMode, when non-empty, selects the coarse ranking by name —
+	// "distinct", "total", "normalised" or "diagonal" — overriding
+	// Diagonal. Unknown names are rejected.
+	CoarseMode string
+	// CoarseBackend selects the coarse phase's data structure: "" or
+	// "auto" (the postings index), "postings", or "signature" (the
+	// bit-sliced interval signatures; requires a database built with
+	// Signatures). Final results are identical across backends; only
+	// the coarse phase's cost profile differs. Unknown names are
+	// rejected.
+	CoarseBackend string
 	// Exact runs unrestricted Smith–Waterman in the fine phase instead
 	// of the banded aligner: exact scores, higher cost.
 	Exact bool
@@ -528,6 +561,30 @@ func (o SearchOptions) internal() core.Options {
 	if o.Diagonal {
 		mode = core.CoarseDiagonal
 	}
+	switch o.CoarseMode {
+	case "":
+	case "distinct":
+		mode = core.CoarseDistinct
+	case "total":
+		mode = core.CoarseTotal
+	case "normalised":
+		mode = core.CoarseNormalised
+	case "diagonal":
+		mode = core.CoarseDiagonal
+	default:
+		mode = core.CoarseMode(-1) // rejected by core's validation
+	}
+	var backend core.CoarseBackend
+	switch o.CoarseBackend {
+	case "", "auto":
+		backend = core.CoarseBackendAuto
+	case "postings":
+		backend = core.CoarseBackendPostings
+	case "signature":
+		backend = core.CoarseBackendSignature
+	default:
+		backend = core.CoarseBackend(-1) // rejected by core's validation
+	}
 	fine := core.FineBanded
 	if o.Exact {
 		fine = core.FineFull
@@ -547,6 +604,7 @@ func (o SearchOptions) internal() core.Options {
 		Candidates:    o.Candidates,
 		MinCoarseHits: o.MinCoarseHits,
 		CoarseMode:    mode,
+		CoarseBackend: backend,
 		FineMode:      fine,
 		FineKernel:    kernel,
 		Band:          o.Band,
@@ -621,6 +679,18 @@ type SearchStats struct {
 	// The postings counters above are shard sums and always equal the
 	// serial values.
 	CoarseShards int `json:"coarse_shards"`
+	// CoarseBackend is the resolved coarse backend ("postings" or
+	// "signature"); "mixed" after aggregating searches that disagree.
+	CoarseBackend string `json:"coarse_backend"`
+	// SigProbes is the number of query intervals probed against the
+	// bit-sliced signatures (signature backend only).
+	SigProbes int `json:"sig_probes"`
+	// SigCandidates is the number of approximate candidates the
+	// signature probe admitted to exact verification.
+	SigCandidates int `json:"sig_candidates"`
+	// SigFalsePositives is the number of those candidates verification
+	// rejected; always ≤ SigCandidates.
+	SigFalsePositives int `json:"sig_false_positives"`
 	// Segments is the number of index segments the coarse phase
 	// evaluated, summed over strands.
 	Segments int `json:"segments"`
@@ -671,6 +741,15 @@ func (s *SearchStats) Add(o SearchStats) {
 	s.CoarseSequences += o.CoarseSequences
 	s.CoarseCandidates += o.CoarseCandidates
 	s.CoarseShards += o.CoarseShards
+	switch {
+	case s.CoarseBackend == "":
+		s.CoarseBackend = o.CoarseBackend
+	case o.CoarseBackend != "" && o.CoarseBackend != s.CoarseBackend:
+		s.CoarseBackend = "mixed"
+	}
+	s.SigProbes += o.SigProbes
+	s.SigCandidates += o.SigCandidates
+	s.SigFalsePositives += o.SigFalsePositives
 	s.Segments += o.Segments
 	s.PrescreenRejections += o.PrescreenRejections
 	s.FineAlignments += o.FineAlignments
@@ -702,6 +781,10 @@ func searchStatsFrom(cs core.SearchStats) SearchStats {
 		CoarseSequences:     cs.CoarseSequences,
 		CoarseCandidates:    cs.CoarseCandidates,
 		CoarseShards:        cs.CoarseShards,
+		CoarseBackend:       cs.CoarseBackend,
+		SigProbes:           cs.SigProbes,
+		SigCandidates:       cs.SigCandidates,
+		SigFalsePositives:   cs.SigFalsePositives,
 		Segments:            cs.Segments,
 		PrescreenRejections: cs.PrescreenRejections,
 		FineAlignments:      cs.FineAlignments,
@@ -727,6 +810,9 @@ var (
 	mPostingsBytes    = metrics.Default().Counter("postings_bytes_read_total")
 	mCoarseCandidates = metrics.Default().Counter("coarse_candidates_total")
 	mCoarseShards     = metrics.Default().Counter("coarse_shards_total")
+	mSigProbes        = metrics.Default().Counter("sig_probes_total")
+	mSigCandidates    = metrics.Default().Counter("sig_candidates_total")
+	mSigFalsePos      = metrics.Default().Counter("sig_false_positives_total")
 	mPrescreenRejects = metrics.Default().Counter("prescreen_rejections_total")
 	mFineAlignments   = metrics.Default().Counter("fine_alignments_total")
 	mBitvectorAligns  = metrics.Default().Counter("fine_bitvector_alignments_total")
@@ -749,6 +835,9 @@ func recordSearchMetrics(st SearchStats) {
 	mPostingsBytes.Add(st.PostingsBytesRead)
 	mCoarseCandidates.Add(int64(st.CoarseCandidates))
 	mCoarseShards.Add(int64(st.CoarseShards))
+	mSigProbes.Add(int64(st.SigProbes))
+	mSigCandidates.Add(int64(st.SigCandidates))
+	mSigFalsePos.Add(int64(st.SigFalsePositives))
 	mPrescreenRejects.Add(int64(st.PrescreenRejections))
 	mFineAlignments.Add(int64(st.FineAlignments))
 	mBitvectorAligns.Add(int64(st.BitvectorAlignments))
@@ -944,6 +1033,16 @@ func (d *Database) Append(records []Record) error {
 	if err != nil {
 		return fmt.Errorf("nucleodb: append: %w", err)
 	}
+	// All-or-none: when the existing segments carry signatures, every
+	// appended segment gets them too (same Bloom geometry), so the
+	// signature backend stays available across the database's life.
+	if old.HasSignatures() {
+		first := old.Segments()[0].Sig()
+		g, err = g.BuildSig(sig.Options{BitsPerKmer: first.BitsPerKmer(), Hashes: first.Hashes()})
+		if err != nil {
+			return fmt.Errorf("nucleodb: append: %w", err)
+		}
+	}
 	segs := append(append([]*segment.Segment{}, old.Segments()...), g)
 	set, err := segment.NewSet(segs)
 	if err != nil {
@@ -1023,6 +1122,10 @@ func (d *Database) SetMaxSegments(n int) {
 
 // NumSegments returns the number of segments in the current snapshot.
 func (d *Database) NumSegments() int { return d.snap.Load().Len() }
+
+// HasSignatures reports whether every segment carries a bit-sliced
+// signature index — the precondition for CoarseBackend "signature".
+func (d *Database) HasSignatures() bool { return d.snap.Load().HasSignatures() }
 
 // NumDeleted returns the number of tombstoned records not yet
 // reclaimed by compaction.
@@ -1253,20 +1356,24 @@ type Stats struct {
 	StoreBytes    int // compressed sequence data
 	IndexBytes    int // lexicon + postings + tables
 	PostingsBytes int
-	TermsIndexed  int
-	TermsStopped  int
-	IntervalLen   int
+	// SignatureBytes is the bit-sliced signature indexes' total size;
+	// 0 for a database built without Signatures.
+	SignatureBytes int64
+	TermsIndexed   int
+	TermsStopped   int
+	IntervalLen    int
 }
 
 // Stats returns storage and index statistics.
 func (d *Database) Stats() Stats {
 	set := d.snap.Load()
 	st := Stats{
-		NumSequences: set.NumSeqs(),
-		TotalBases:   set.TotalBases(),
-		Segments:     set.Len(),
-		Deleted:      set.NumDeleted(),
-		IntervalLen:  set.Segments()[0].Index.K(),
+		NumSequences:   set.NumSeqs(),
+		TotalBases:     set.TotalBases(),
+		Segments:       set.Len(),
+		Deleted:        set.NumDeleted(),
+		SignatureBytes: set.SignatureBytes(),
+		IntervalLen:    set.Segments()[0].Index.K(),
 	}
 	for _, g := range set.Segments() {
 		st.StoreBytes += g.Store.EncodedBytes()

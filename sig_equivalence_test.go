@@ -1,0 +1,210 @@
+package nucleodb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// sigBackendGrid is the public-API option matrix the signature
+// equivalence suite compares across: every coarse ranking, serial and
+// parallel coarse/fine workers, both strands, and the exact fine phase.
+func sigBackendGrid() map[string]SearchOptions {
+	grid := map[string]SearchOptions{}
+	for _, mode := range []string{"distinct", "total", "normalised", "diagonal"} {
+		opts := DefaultSearchOptions()
+		opts.CoarseMode = mode
+		grid[mode] = opts
+	}
+	parallel := DefaultSearchOptions()
+	parallel.CoarseWorkers = 3
+	parallel.FineWorkers = 2
+	grid["parallel"] = parallel
+
+	strands := DefaultSearchOptions()
+	strands.CoarseMode = "total"
+	strands.BothStrands = true
+	grid["strands-total"] = strands
+
+	exact := DefaultSearchOptions()
+	exact.Exact = true
+	exact.FineKernel = "bitvector"
+	grid["exact-bitvector"] = exact
+	return grid
+}
+
+// mustEqualBackends proves the signature coarse backend answers
+// byte-identically to the postings backend on the same database, across
+// the whole option grid.
+func mustEqualBackends(t *testing.T, label string, db *Database, query string) {
+	t.Helper()
+	if !db.HasSignatures() {
+		t.Fatalf("%s: database lost its signatures", label)
+	}
+	for name, opts := range sigBackendGrid() {
+		postings := opts
+		postings.CoarseBackend = "postings"
+		want, err := db.Search(query, postings)
+		if err != nil {
+			t.Fatalf("%s/%s: postings: %v", label, name, err)
+		}
+		signature := opts
+		signature.CoarseBackend = "signature"
+		got, wantStats, err := db.SearchWithStats(query, signature)
+		if err != nil {
+			t.Fatalf("%s/%s: signature: %v", label, name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s/%s: signature results diverge from postings\n got %+v\nwant %+v", label, name, got, want)
+		}
+		if wantStats.CoarseBackend != "signature" {
+			t.Fatalf("%s/%s: stats backend = %q, want signature", label, name, wantStats.CoarseBackend)
+		}
+		if wantStats.SigProbes == 0 {
+			t.Fatalf("%s/%s: signature run recorded no probes", label, name)
+		}
+	}
+}
+
+// sigBuildConfig is DefaultBuildConfig with signatures enabled.
+func sigBuildConfig() BuildConfig {
+	cfg := DefaultBuildConfig()
+	cfg.Signatures = true
+	return cfg
+}
+
+// buildSegmentedSig builds recs in k append batches with signatures
+// enabled from the first segment (appends inherit the geometry).
+func buildSegmentedSig(t *testing.T, recs []Record, k int, rng *rand.Rand) *Database {
+	t.Helper()
+	batches := splitRecords(rng, recs, k)
+	db, err := Build(batches[0], sigBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetMaxSegments(math.MaxInt32)
+	for _, b := range batches[1:] {
+		if err := db.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.NumSegments(); got != k {
+		t.Fatalf("built %d segments, want %d", got, k)
+	}
+	if !db.HasSignatures() {
+		t.Fatal("segmented build with Signatures lost them across appends")
+	}
+	return db
+}
+
+// TestSignatureEquivalenceProperty is the second-backend lockdown: for
+// random record streams split into k append batches, the bit-sliced
+// signature backend answers byte-identically to the postings backend —
+// across the whole coarse-mode and worker grid, at every compaction
+// state from fully unfolded to fully folded.
+func TestSignatureEquivalenceProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property matrix skipped in -short mode (covered by the full run and CI's sig-equivalence job)")
+	}
+	for trial := 0; trial < 2; trial++ {
+		recs, query, _ := testRecords(int64(500 + trial))
+		rng := rand.New(rand.NewSource(int64(600 + trial)))
+		for _, k := range []int{1, 3, 6} {
+			db := buildSegmentedSig(t, recs, k, rng)
+			mustEqualBackends(t, fmt.Sprintf("trial%d/k%d/unfolded", trial, k), db, query)
+
+			// Fold step by step; MergeRun must rebuild the merged
+			// segment's signatures, keeping the backend available at
+			// every intermediate compaction state.
+			db.SetMaxSegments(1)
+			for step := 0; ; step++ {
+				n, err := db.Compact()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n == 0 {
+					break
+				}
+				mustEqualBackends(t, fmt.Sprintf("trial%d/k%d/fold%d", trial, k, step), db, query)
+			}
+		}
+	}
+}
+
+// TestSignatureSaveReloadEquivalence checks the persistence path: the
+// .sig files ride in the segment directory, survive SaveSegmented →
+// Open and OpenPaged, and the reloaded signatures still answer
+// identically to postings.
+func TestSignatureSaveReloadEquivalence(t *testing.T) {
+	recs, query, _ := testRecords(510)
+	rng := rand.New(rand.NewSource(511))
+	db := buildSegmentedSig(t, recs, 3, rng)
+
+	dir := filepath.Join(t.TempDir(), "sigdb")
+	if err := db.SaveSegmented(dir); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := Open(dir, DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reloaded.HasSignatures() {
+		t.Fatal("signatures did not survive SaveSegmented → Open")
+	}
+	mustEqualBackends(t, "reloaded", reloaded, query)
+
+	paged, err := OpenPaged(dir, DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer paged.Close()
+	if !paged.HasSignatures() {
+		t.Fatal("signatures did not survive OpenPaged")
+	}
+	mustEqualBackends(t, "paged", paged, query)
+
+	// Appends to the reloaded database keep the backend live.
+	extra, _, _ := testRecords(512)
+	reloaded.SetMaxSegments(math.MaxInt32)
+	if err := reloaded.Append(extra[:10]); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualBackends(t, "reloaded+append", reloaded, query)
+}
+
+// TestSignatureBackendUnavailable pins the failure mode: requesting the
+// signature backend on a database built without signatures is an error,
+// not a silent fallback; "auto" remains fine and resolves to postings.
+func TestSignatureBackendUnavailable(t *testing.T) {
+	recs, query, _ := testRecords(520)
+	db, err := Build(recs, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.HasSignatures() {
+		t.Fatal("default build should not carry signatures")
+	}
+	opts := DefaultSearchOptions()
+	opts.CoarseBackend = "signature"
+	if _, err := db.Search(query, opts); err == nil {
+		t.Fatal("signature backend on a signature-less database did not error")
+	}
+	opts.CoarseBackend = "auto"
+	if _, st, err := db.SearchWithStats(query, opts); err != nil {
+		t.Fatal(err)
+	} else if st.CoarseBackend != "postings" {
+		t.Fatalf("auto resolved to %q, want postings", st.CoarseBackend)
+	}
+	opts.CoarseBackend = "bitmap"
+	if _, err := db.Search(query, opts); err == nil {
+		t.Fatal("unknown coarse backend accepted")
+	}
+	opts.CoarseBackend = ""
+	opts.CoarseMode = "cosine"
+	if _, err := db.Search(query, opts); err == nil {
+		t.Fatal("unknown coarse mode accepted")
+	}
+}

@@ -1,0 +1,171 @@
+package nucleodb
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestSignaturePoolSnapshotStaleness pins the pool-invalidation rule
+// for the signature backend: a searcher checked out against one
+// signatured snapshot is dropped once a writer publishes a newer one,
+// and fresh checkouts answer signature-backend queries against the new
+// snapshot — an old pooled searcher must never serve signatures sized
+// for the previous segment set.
+func TestSignaturePoolSnapshotStaleness(t *testing.T) {
+	recs, query, _ := testRecords(530)
+	db, err := Build(recs[:30], sigBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetMaxSegments(math.MaxInt32)
+
+	s, set, err := db.getSearcher()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(recs[30:]); err != nil {
+		t.Fatal(err)
+	}
+	db.putSearcher(s)
+	if set.NumSeqs() == db.NumSequences() {
+		t.Fatal("append did not change the snapshot")
+	}
+	s2, set2, err := db.getSearcher()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 == s {
+		t.Error("stale searcher served from the pool after snapshot swap")
+	}
+	if set2.NumSeqs() != db.NumSequences() {
+		t.Error("fresh checkout sees a stale snapshot")
+	}
+	db.putSearcher(s2)
+
+	// The appended segment inherited signatures, and both backends
+	// agree on the post-append snapshot.
+	if !db.HasSignatures() {
+		t.Fatal("append dropped the signatures")
+	}
+	opts := DefaultSearchOptions()
+	opts.CoarseBackend = "postings"
+	want, err := db.Search(query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.CoarseBackend = "signature"
+	got, err := db.Search(query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("signature results diverge from postings after snapshot swap")
+	}
+}
+
+// TestSignatureConcurrentHammer races both coarse backends against the
+// whole mutation surface: readers alternate postings, signature and
+// auto backends across random coarse modes while an append stream,
+// deletes and compactions (which rebuild merged segments' signatures)
+// swap snapshots underneath them. Run under -race (make check does).
+// At the end, the settled database must answer identically under both
+// backends across the full option grid.
+func TestSignatureConcurrentHammer(t *testing.T) {
+	recs, query, _ := testRecords(540)
+	base, stream := recs[:25], recs[25:]
+
+	db, err := Build(base, sigBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetMaxSegments(3)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	backends := []string{"postings", "signature", "auto"}
+	modes := []string{"", "distinct", "total", "normalised", "diagonal"}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				o := DefaultSearchOptions()
+				o.CoarseBackend = backends[rng.Intn(len(backends))]
+				o.CoarseMode = modes[rng.Intn(len(modes))]
+				o.CoarseWorkers = rng.Intn(3)
+				rs, err := db.Search(query, o)
+				if err != nil {
+					t.Errorf("search (%s/%s): %v", o.CoarseBackend, o.CoarseMode, err)
+					return
+				}
+				for i := 1; i < len(rs); i++ {
+					if rs[i].Score > rs[i-1].Score {
+						t.Error("results unsorted")
+						return
+					}
+				}
+			}
+		}(int64(550 + r))
+	}
+
+	// Compactions race the readers; every merge must rebuild the merged
+	// segment's signatures before the snapshot swap publishes it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := db.Compact(); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+		}
+	}()
+
+	deleted := false
+	for start := 0; start < len(stream); start += 5 {
+		end := start + 5
+		if end > len(stream) {
+			end = len(stream)
+		}
+		if err := db.Append(stream[start:end]); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		if !deleted && db.NumSequences() > 13 {
+			if err := db.Delete(13); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+			deleted = true
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Settle and lock down: signatures survived every append and merge,
+	// and both backends agree across the full grid.
+	db.SetMaxSegments(1)
+	for {
+		n, err := db.Compact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+	}
+	mustEqualBackends(t, "hammer-settled", db, query)
+}
